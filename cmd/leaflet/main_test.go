@@ -1,0 +1,61 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mdtask/internal/leaflet"
+	"mdtask/internal/synth"
+	"mdtask/internal/traj"
+)
+
+func TestParseApproach(t *testing.T) {
+	cases := map[string]leaflet.Approach{
+		"1": leaflet.Broadcast1D, "broadcast": leaflet.Broadcast1D,
+		"2": leaflet.TaskAPI2D, "task2d": leaflet.TaskAPI2D,
+		"3": leaflet.ParallelCC, "parallel-cc": leaflet.ParallelCC,
+		"4": leaflet.TreeSearch, "tree": leaflet.TreeSearch,
+	}
+	for name, want := range cases {
+		got, err := parseApproach(name)
+		if err != nil || got != want {
+			t.Errorf("parseApproach(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseApproach("5"); err == nil {
+		t.Error("unknown approach accepted")
+	}
+}
+
+func TestRunGenerated(t *testing.T) {
+	if err := run("", 2000, 1, "spark", "tree", synth.BilayerCutoff, 2, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	sys := synth.Bilayer(1000, 2)
+	tr := traj.New("membrane", len(sys.Coords))
+	if err := tr.AppendFrame(traj.Frame{Coords: sys.Coords}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.mdt")
+	if err := traj.WriteMDTFile(path, tr, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 0, 0, "mpi", "3", synth.BilayerCutoff, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 100, 1, "bogus", "tree", 1, 1, 4); err == nil {
+		t.Error("bad engine accepted")
+	}
+	if err := run("", 100, 1, "spark", "bogus", 1, 1, 4); err == nil {
+		t.Error("bad approach accepted")
+	}
+	if err := run("/nonexistent/file.mdt", 0, 0, "spark", "tree", 1, 1, 4); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Command mdbench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment calibrates per-task costs from the
+// repository's real kernels, then sweeps nodes/cores through the cluster
+// performance model.
+//
+// Usage:
+//
+//	mdbench                 # run everything
+//	mdbench -exp fig7       # one experiment
+//	mdbench -exp fig2,fig3  # several
+//	mdbench -csv out/       # also write CSV files per experiment
+//	mdbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mdtask/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if err := run(*expFlag, *csvDir, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "mdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expFlag, csvDir string, list bool) error {
+	if list {
+		for _, e := range bench.Registry {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	var exps []bench.Experiment
+	if expFlag == "" {
+		exps = bench.Registry
+	} else {
+		for _, id := range strings.Split(expFlag, ",") {
+			e, err := bench.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			exps = append(exps, e)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "calibrating kernel costs on this machine...")
+	cal := bench.Calibrate()
+	fmt.Fprintf(os.Stderr, "calibration: hausdorff small pair %.4fs, cdist pair %.2gs, edges/atom %.2f\n\n",
+		cal.HausdorffPair["small"], cal.CdistPerPair, cal.EdgesPerAtom)
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range exps {
+		t := e.Run(cal)
+		if err := t.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			f, err := os.Create(filepath.Join(csvDir, t.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run("", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("not-an-exp", "", false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunOneExperimentWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs calibration")
+	}
+	dir := t.TempDir()
+	// tab3 is pure table data (no heavy modeling), but run still
+	// calibrates once; tolerated for the non-short suite.
+	if err := run("tab3", dir, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "tab3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV")
+	}
+}

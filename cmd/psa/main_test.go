@@ -1,0 +1,51 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mdtask/internal/core"
+	"mdtask/internal/synth"
+	"mdtask/internal/traj"
+)
+
+func TestParseEngine(t *testing.T) {
+	cases := map[string]core.Engine{
+		"mpi": core.EngineMPI, "spark": core.EngineSpark,
+		"dask": core.EngineDask, "pilot": core.EnginePilot,
+	}
+	for name, want := range cases {
+		got, err := parseEngine(name)
+		if err != nil || got != want {
+			t.Errorf("parseEngine(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseEngine("hadoop"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		tr := synth.Walk("t", 10, 5, 3, uint64(i))
+		if err := traj.WriteMDTFile(filepath.Join(dir, tr.Name+string(rune('a'+i))+".mdt"), tr, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run(dir, "spark", 2, "early-break", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(t.TempDir(), "spark", 1, "naive", 0, 0); err == nil {
+		t.Error("empty directory accepted")
+	}
+	if err := run(t.TempDir(), "bogus", 1, "naive", 0, 0); err == nil {
+		t.Error("bad engine accepted")
+	}
+	if err := run(t.TempDir(), "spark", 1, "bogus", 0, 0); err == nil {
+		t.Error("bad method accepted")
+	}
+}

@@ -1,0 +1,80 @@
+// Command trajgen generates synthetic MD datasets: trajectory ensembles
+// for PSA (as .mdt files) and bilayer membranes for the Leaflet Finder
+// (as single-frame .mdt files).
+//
+// Usage:
+//
+//	trajgen -kind ensemble -size small -n 8 -out data/
+//	trajgen -kind membrane -atoms 131072 -out data/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mdtask/internal/synth"
+	"mdtask/internal/traj"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "ensemble", "what to generate: ensemble | membrane")
+		size  = flag.String("size", "small", "ensemble preset: small | medium | large")
+		n     = flag.Int("n", 4, "number of trajectories (ensemble)")
+		atoms = flag.Int("atoms", 131072, "atom count (membrane)")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		out   = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+	if err := run(*kind, *size, *n, *atoms, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "trajgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, size string, n, atoms int, seed uint64, out string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	switch kind {
+	case "ensemble":
+		var preset synth.EnsemblePreset
+		switch size {
+		case "small":
+			preset = synth.Small
+		case "medium":
+			preset = synth.Medium
+		case "large":
+			preset = synth.Large
+		default:
+			return fmt.Errorf("unknown size %q (want small|medium|large)", size)
+		}
+		ens := synth.Ensemble(preset, n, seed)
+		for _, t := range ens {
+			path := filepath.Join(out, t.Name+".mdt")
+			if err := traj.WriteMDTFile(path, t, 4); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d atoms, %d frames)\n", path, t.NAtoms, t.NFrames())
+		}
+		return nil
+	case "membrane":
+		sys := synth.Bilayer(atoms, seed)
+		t := traj.New(fmt.Sprintf("membrane-%d", atoms), len(sys.Coords))
+		if err := t.AppendFrame(traj.Frame{Coords: sys.Coords}); err != nil {
+			return err
+		}
+		path := filepath.Join(out, t.Name+".mdt")
+		if err := traj.WriteMDTFile(path, t, 4); err != nil {
+			return err
+		}
+		lo, hi := sys.CountLeaflets()
+		fmt.Printf("wrote %s (%d atoms: leaflets %d/%d, cutoff %.1f)\n",
+			path, len(sys.Coords), lo, hi, synth.BilayerCutoff)
+		return nil
+	default:
+		return fmt.Errorf("unknown kind %q (want ensemble|membrane)", kind)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mdtask/internal/traj"
+)
+
+func TestGenerateEnsemble(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("ensemble", "small", 2, 0, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.mdt"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("files = %v, %v", files, err)
+	}
+	tr, err := traj.ReadMDTFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NAtoms != 3341 || tr.NFrames() != 102 {
+		t.Errorf("shape = %d/%d", tr.NAtoms, tr.NFrames())
+	}
+}
+
+func TestGenerateMembrane(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("membrane", "", 0, 5000, 2, dir); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traj.ReadMDTFile(filepath.Join(dir, "membrane-5000.mdt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NAtoms != 5000 || tr.NFrames() != 1 {
+		t.Errorf("shape = %d/%d", tr.NAtoms, tr.NFrames())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("bogus", "small", 1, 0, 1, dir); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if err := run("ensemble", "bogus", 1, 0, 1, dir); err == nil {
+		t.Error("bad size accepted")
+	}
+}

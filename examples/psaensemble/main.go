@@ -1,0 +1,52 @@
+// PSA ensemble example: run the same Path Similarity Analysis on all
+// four task-parallel engines (§4.2 of the paper), verify they agree, and
+// compare wall-clock times — the embarrassing-parallel case where the
+// paper finds framework choice matters little.
+//
+// Run with: go run ./examples/psaensemble
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"mdtask/internal/core"
+	"mdtask/internal/hausdorff"
+	"mdtask/internal/synth"
+)
+
+func main() {
+	ens := synth.Ensemble(synth.EnsemblePreset{Name: "ens", NAtoms: 400, NFrames: 30}, 8, 11)
+	fmt.Printf("ensemble: %d trajectories x %d atoms x %d frames\n\n",
+		len(ens), ens[0].NAtoms, ens[0].NFrames())
+
+	var reference []float64
+	fmt.Printf("%-14s %10s %8s\n", "engine", "elapsed", "agrees")
+	for _, eng := range core.Engines {
+		cfg := core.Config{Engine: eng, Parallelism: 4, Tasks: 16}
+		start := time.Now()
+		m, err := core.PSA(cfg, ens, hausdorff.EarlyBreak)
+		if err != nil {
+			log.Fatalf("%v: %v", eng, err)
+		}
+		elapsed := time.Since(start)
+		agrees := "ref"
+		if reference == nil {
+			reference = m.Data
+		} else {
+			agrees = "yes"
+			for i := range reference {
+				if math.Abs(reference[i]-m.Data[i]) > 1e-9 {
+					agrees = "NO"
+					break
+				}
+			}
+		}
+		fmt.Printf("%-14s %10s %8s\n", eng, elapsed.Round(time.Millisecond), agrees)
+	}
+	fmt.Println("\nall engines compute the identical distance matrix; for this")
+	fmt.Println("embarrassingly parallel analysis the paper finds programmability,")
+	fmt.Println("not engine choice, is the deciding factor (§4.2).")
+}

@@ -1,0 +1,248 @@
+// Package balltree implements a BallTree spatial index for 3-D points,
+// replacing the Scikit-Learn BallTree used by the paper's Leaflet Finder
+// Approach 4 ("Tree-Search", §4.3.4). Construction is O(n log n) and
+// radius queries are O(log n) for point distributions like membranes,
+// which is what flips the crossover against brute-force pairwise
+// distance computation for large systems.
+package balltree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"mdtask/internal/linalg"
+)
+
+// DefaultLeafSize is the point count below which nodes become leaves.
+const DefaultLeafSize = 32
+
+type node struct {
+	center      linalg.Vec3
+	radius      float64
+	start, end  int32 // index range into the permutation
+	left, right int32 // child node ids; -1 for leaves
+}
+
+// Tree is an immutable BallTree over a point set. The points slice is
+// referenced, not copied; it must not be mutated while the tree is used.
+type Tree struct {
+	pts      []linalg.Vec3
+	perm     []int32
+	nodes    []node
+	leafSize int
+}
+
+// New builds a BallTree with the default leaf size.
+func New(pts []linalg.Vec3) *Tree { return NewLeafSize(pts, DefaultLeafSize) }
+
+// NewLeafSize builds a BallTree with a custom leaf size (minimum 1).
+func NewLeafSize(pts []linalg.Vec3, leafSize int) *Tree {
+	if leafSize < 1 {
+		leafSize = 1
+	}
+	t := &Tree{pts: pts, perm: make([]int32, len(pts)), leafSize: leafSize}
+	for i := range t.perm {
+		t.perm[i] = int32(i)
+	}
+	if len(pts) > 0 {
+		t.build(0, int32(len(pts)))
+	}
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// build creates the node covering perm[start:end] and returns its id.
+func (t *Tree) build(start, end int32) int32 {
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{start: start, end: end, left: -1, right: -1})
+
+	// Bounding ball: centroid of the range plus max distance.
+	var c linalg.Vec3
+	for _, ix := range t.perm[start:end] {
+		p := t.pts[ix]
+		c[0] += p[0]
+		c[1] += p[1]
+		c[2] += p[2]
+	}
+	inv := 1 / float64(end-start)
+	c = c.Scale(inv)
+	var r2 float64
+	for _, ix := range t.perm[start:end] {
+		if d := linalg.Dist2(c, t.pts[ix]); d > r2 {
+			r2 = d
+		}
+	}
+	t.nodes[id].center = c
+	t.nodes[id].radius = math.Sqrt(r2)
+
+	if int(end-start) <= t.leafSize {
+		return id
+	}
+
+	// Split along the dimension of largest spread at the median.
+	lo, hi := t.rangeBounds(start, end)
+	dim := 0
+	if hi[1]-lo[1] > hi[dim]-lo[dim] {
+		dim = 1
+	}
+	if hi[2]-lo[2] > hi[dim]-lo[dim] {
+		dim = 2
+	}
+	mid := (start + end) / 2
+	seg := t.perm[start:end]
+	sort.Slice(seg, func(i, j int) bool {
+		return t.pts[seg[i]][dim] < t.pts[seg[j]][dim]
+	})
+	left := t.build(start, mid)
+	right := t.build(mid, end)
+	t.nodes[id].left = left
+	t.nodes[id].right = right
+	return id
+}
+
+func (t *Tree) rangeBounds(start, end int32) (lo, hi linalg.Vec3) {
+	lo = t.pts[t.perm[start]]
+	hi = lo
+	for _, ix := range t.perm[start+1 : end] {
+		p := t.pts[ix]
+		for k := 0; k < 3; k++ {
+			if p[k] < lo[k] {
+				lo[k] = p[k]
+			}
+			if p[k] > hi[k] {
+				hi[k] = p[k]
+			}
+		}
+	}
+	return lo, hi
+}
+
+// QueryRadius returns the indices of all points within radius of q, in
+// ascending index order.
+func (t *Tree) QueryRadius(q linalg.Vec3, radius float64) []int32 {
+	out := t.QueryRadiusAppend(nil, q, radius)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// QueryRadiusAppend appends the indices of points within radius of q to
+// dst (unsorted) and returns the extended slice. It performs no
+// allocations beyond growing dst.
+func (t *Tree) QueryRadiusAppend(dst []int32, q linalg.Vec3, radius float64) []int32 {
+	if len(t.nodes) == 0 {
+		return dst
+	}
+	r2 := radius * radius
+	var stack [64]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	for sp > 0 {
+		sp--
+		n := &t.nodes[stack[sp]]
+		d := linalg.Dist(q, n.center)
+		if d > radius+n.radius {
+			continue // ball cannot intersect the query sphere
+		}
+		if n.left == -1 {
+			for _, ix := range t.perm[n.start:n.end] {
+				if linalg.Dist2(q, t.pts[ix]) <= r2 {
+					dst = append(dst, ix)
+				}
+			}
+			continue
+		}
+		// Entire ball inside the query sphere: take all points.
+		if d+n.radius <= radius {
+			dst = append(dst, t.perm[n.start:n.end]...)
+			continue
+		}
+		stack[sp] = n.left
+		sp++
+		stack[sp] = n.right
+		sp++
+	}
+	return dst
+}
+
+// kHeap is a max-heap of (dist2, index) pairs bounded by k.
+type kHeap []knnItem
+
+type knnItem struct {
+	d2 float64
+	ix int32
+}
+
+func (h kHeap) Len() int            { return len(h) }
+func (h kHeap) Less(i, j int) bool  { return h[i].d2 > h[j].d2 }
+func (h kHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *kHeap) Push(x interface{}) { *h = append(*h, x.(knnItem)) }
+func (h *kHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// QueryKNN returns the indices of the k points nearest to q, closest
+// first. If the tree holds fewer than k points, all are returned.
+func (t *Tree) QueryKNN(q linalg.Vec3, k int) []int32 {
+	if k <= 0 || len(t.nodes) == 0 {
+		return nil
+	}
+	h := make(kHeap, 0, k+1)
+	var visit func(id int32)
+	visit = func(id int32) {
+		n := &t.nodes[id]
+		if len(h) == k {
+			if linalg.Dist(q, n.center)-n.radius > math.Sqrt(h[0].d2) {
+				return
+			}
+		}
+		if n.left == -1 {
+			for _, ix := range t.perm[n.start:n.end] {
+				d2 := linalg.Dist2(q, t.pts[ix])
+				if len(h) < k {
+					heap.Push(&h, knnItem{d2, ix})
+				} else if d2 < h[0].d2 {
+					h[0] = knnItem{d2, ix}
+					heap.Fix(&h, 0)
+				}
+			}
+			return
+		}
+		// Visit the closer child first for tighter pruning.
+		dl := linalg.Dist2(q, t.nodes[n.left].center)
+		dr := linalg.Dist2(q, t.nodes[n.right].center)
+		if dl <= dr {
+			visit(n.left)
+			visit(n.right)
+		} else {
+			visit(n.right)
+			visit(n.left)
+		}
+	}
+	visit(0)
+	out := make([]int32, len(h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(knnItem).ix
+	}
+	return out
+}
+
+// BruteRadius is the reference implementation of QueryRadius used by
+// tests and by the crossover ablation benchmark.
+func BruteRadius(pts []linalg.Vec3, q linalg.Vec3, radius float64) []int32 {
+	r2 := radius * radius
+	var out []int32
+	for i, p := range pts {
+		if linalg.Dist2(q, p) <= r2 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}

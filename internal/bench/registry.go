@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a named generator of one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cal *Calibration) *Table
+}
+
+// Registry lists every reproducible artifact of the paper's evaluation,
+// in paper order.
+var Registry = []Experiment{
+	{"fig2", "Task throughput by framework (single node)", Fig2},
+	{"fig3", "Task throughput by framework (multiple nodes)", Fig3},
+	{"fig4", "Hausdorff PSA on Wrangler", Fig4},
+	{"fig5", "Hausdorff PSA on Comet and Wrangler", Fig5},
+	{"fig6", "Hausdorff via CPPTraj kernels", Fig6},
+	{"fig7", "Leaflet Finder approaches across frameworks", Fig7},
+	{"fig8", "Leaflet Finder Approach-1 broadcast decomposition", Fig8},
+	{"fig9", "RADICAL-Pilot Leaflet Finder (Approach 2)", Fig9},
+	{"tab1", "Frameworks comparison", Tab1},
+	{"tab2", "Leaflet Finder MapReduce operations", Tab2},
+	{"tab3", "Decision framework", Tab3},
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(Registry))
+	for i, e := range Registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}

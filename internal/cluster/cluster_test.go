@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	mathrand "math/rand"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func alloc(m Machine, nodes, cpn int) Alloc {
+	return Alloc{Machine: m, Nodes: nodes, CoresPerNode: cpn}
+}
+
+func TestSlowdown(t *testing.T) {
+	m := Comet()
+	if got := m.Slowdown(24); got != 1 {
+		t.Errorf("Comet at physical cores: slowdown = %v", got)
+	}
+	w := Wrangler()
+	under := w.Slowdown(24)
+	over := w.Slowdown(32)
+	if over <= under {
+		t.Errorf("oversubscribed slowdown %v should exceed %v", over, under)
+	}
+	// Total throughput with all 48 logical cores should still beat 24
+	// physical cores: 48/slowdown(48) > 24/slowdown(24).
+	if 48/w.Slowdown(48) <= 24/w.Slowdown(24) {
+		t.Error("hyper-threading provides no aggregate benefit")
+	}
+}
+
+func TestEstimateMoreCoresFaster(t *testing.T) {
+	w := Workload{Phases: []Phase{{Name: "p", Tasks: UniformTasks(256, 1.0)}}}
+	for _, fw := range Frameworks {
+		p := DefaultProfile(fw)
+		t1 := Estimate(p, alloc(Comet(), 1, 16), w)
+		t2 := Estimate(p, alloc(Comet(), 4, 16), w)
+		if t1.Failed != "" || t2.Failed != "" {
+			t.Fatalf("%v: unexpected failure %q %q", fw, t1.Failed, t2.Failed)
+		}
+		if t2.Makespan >= t1.Makespan {
+			t.Errorf("%v: 4 nodes (%.1fs) not faster than 1 (%.1fs)", fw, t2.Makespan, t1.Makespan)
+		}
+	}
+}
+
+func TestThroughputOrdering(t *testing.T) {
+	// The paper's headline: Dask > Spark >> RADICAL-Pilot on null tasks.
+	w := Workload{Phases: []Phase{{Name: "null", Tasks: UniformTasks(4096, 0)}}}
+	a := alloc(Wrangler(), 1, 24)
+	rate := func(fw Framework) float64 {
+		p := DefaultProfile(fw)
+		p.Startup = 0
+		return Estimate(p, a, w).Throughput(4096)
+	}
+	dask, spark, rp := rate(Dask), rate(Spark), rate(RadicalPilot)
+	if !(dask > spark && spark > rp) {
+		t.Fatalf("ordering violated: dask=%.0f spark=%.0f rp=%.0f", dask, spark, rp)
+	}
+	if dask < 5*spark {
+		t.Errorf("Dask (%.0f/s) should be ~an order above Spark (%.0f/s)", dask, spark)
+	}
+	if rp > 100 {
+		t.Errorf("RADICAL-Pilot throughput %.0f/s exceeds the paper's <100 plateau", rp)
+	}
+}
+
+func TestRPPlateauAcrossNodes(t *testing.T) {
+	w := Workload{Phases: []Phase{{Name: "null", Tasks: UniformTasks(8192, 0)}}}
+	p := DefaultProfile(RadicalPilot)
+	p.Startup = 0
+	r1 := Estimate(p, alloc(Wrangler(), 1, 24), w).Throughput(8192)
+	r4 := Estimate(p, alloc(Wrangler(), 4, 24), w).Throughput(8192)
+	if r4 > 1.2*r1 {
+		t.Errorf("RP throughput scaled with nodes (%.0f -> %.0f); should plateau", r1, r4)
+	}
+}
+
+func TestMemoryLimitFails(t *testing.T) {
+	w := Workload{Phases: []Phase{{
+		Name:            "big",
+		Tasks:           UniformTasks(64, 1),
+		MemPerTaskBytes: 10 << 30, // 10 GB x 24 workers > 128 GB node
+	}}}
+	res := Estimate(DefaultProfile(Spark), alloc(Comet(), 1, 24), w)
+	if res.Failed == "" {
+		t.Fatal("memory overcommit not detected")
+	}
+	if !strings.Contains(res.Failed, "memory") {
+		t.Errorf("failure message %q", res.Failed)
+	}
+	// MPI with factor 1.0 may fit where Dask with factor 3.0 fails.
+	w.Phases[0].MemPerTaskBytes = 4 << 30
+	if res := Estimate(DefaultProfile(MPI), alloc(Comet(), 1, 24), w); res.Failed != "" {
+		t.Errorf("MPI failed: %s", res.Failed)
+	}
+	if res := Estimate(DefaultProfile(Dask), alloc(Comet(), 1, 24), w); res.Failed == "" {
+		t.Error("Dask's 3x object overhead should exceed node memory")
+	}
+}
+
+func TestMaxTasksLimit(t *testing.T) {
+	p := DefaultProfile(Spark)
+	p.MaxTasks = 100
+	w := Workload{Phases: []Phase{{Name: "p", Tasks: UniformTasks(101, 0)}}}
+	if res := Estimate(p, alloc(Comet(), 1, 24), w); res.Failed == "" {
+		t.Error("MaxTasks not enforced")
+	}
+}
+
+func TestBroadcastShapes(t *testing.T) {
+	// MPI broadcast grows with rank count; Spark's stays flat.
+	w := func() Workload {
+		return Workload{Phases: []Phase{{
+			Name:           "bc",
+			Tasks:          UniformTasks(64, 0.01),
+			BroadcastBytes: 100 << 20,
+		}}}
+	}
+	mpiSmall := Estimate(DefaultProfile(MPI), alloc(Comet(), 1, 24), w()).Broadcast
+	mpiBig := Estimate(DefaultProfile(MPI), alloc(Comet(), 8, 24), w()).Broadcast
+	if mpiBig <= mpiSmall {
+		t.Errorf("MPI broadcast did not grow with ranks: %v -> %v", mpiSmall, mpiBig)
+	}
+	sparkSmall := Estimate(DefaultProfile(Spark), alloc(Comet(), 1, 24), w()).Broadcast
+	sparkBig := Estimate(DefaultProfile(Spark), alloc(Comet(), 8, 24), w()).Broadcast
+	if sparkBig > sparkSmall*1.5 {
+		t.Errorf("Spark broadcast not ~flat: %v -> %v", sparkSmall, sparkBig)
+	}
+}
+
+func TestShuffleCosts(t *testing.T) {
+	w := Workload{Phases: []Phase{{
+		Name:         "sh",
+		Tasks:        UniformTasks(64, 0.01),
+		ShuffleBytes: 1 << 30,
+	}}}
+	a := alloc(Comet(), 4, 24)
+	spark := Estimate(DefaultProfile(Spark), a, w).Shuffle
+	dask := Estimate(DefaultProfile(Dask), a, w).Shuffle
+	rp := Estimate(DefaultProfile(RadicalPilot), a, w).Shuffle
+	if dask <= spark {
+		t.Errorf("Dask shuffle (%v) should cost more than Spark's (%v)", dask, spark)
+	}
+	if rp <= 0 {
+		t.Error("RP filesystem-based exchange should cost time")
+	}
+}
+
+func TestStaticVsDispatchSchedule(t *testing.T) {
+	tasks := UniformTasks(100, 1)
+	static := staticSchedule(tasks, 10, 1, 0)
+	if static != 10 {
+		t.Errorf("static makespan = %v, want 10", static)
+	}
+	disp := dispatchSchedule(tasks, 10, 1, 0, 0.001)
+	if disp < 10 || disp > 11 {
+		t.Errorf("dispatch makespan = %v, want ~10", disp)
+	}
+	// Dispatch serialization dominates when tasks are tiny.
+	nullDisp := dispatchSchedule(UniformTasks(1000, 0), 10, 1, 0, 0.01)
+	if nullDisp < 9.99 {
+		t.Errorf("dispatcher-bound makespan = %v, want ~10", nullDisp)
+	}
+}
+
+func TestEmptyWorkloadAndAlloc(t *testing.T) {
+	res := Estimate(DefaultProfile(MPI), alloc(Comet(), 0, 0), Workload{})
+	if res.Failed == "" {
+		t.Error("empty allocation accepted")
+	}
+	res = Estimate(DefaultProfile(MPI), alloc(Comet(), 1, 24), Workload{})
+	if res.Failed != "" || res.Makespan != DefaultProfile(MPI).Startup {
+		t.Errorf("empty workload: %+v", res)
+	}
+}
+
+func TestColdStartOverhead(t *testing.T) {
+	w := func(cold bool) Workload {
+		return Workload{Phases: []Phase{{Name: "p", Tasks: UniformTasks(32, 0.1), ColdStart: cold}}}
+	}
+	p := DefaultProfile(RadicalPilot)
+	warm := Estimate(p, alloc(Wrangler(), 1, 32), w(false)).Makespan
+	cold := Estimate(p, alloc(Wrangler(), 1, 32), w(true)).Makespan
+	if cold <= warm+5 {
+		t.Errorf("cold start added too little: %v vs %v", cold, warm)
+	}
+}
+
+func TestSortedDescending(t *testing.T) {
+	in := []float64{1, 3, 2}
+	out := SortedDescending(in)
+	if out[0] != 3 || out[1] != 2 || out[2] != 1 {
+		t.Errorf("SortedDescending = %v", out)
+	}
+	if in[0] != 1 {
+		t.Error("input mutated")
+	}
+}
+
+func TestResultThroughput(t *testing.T) {
+	r := Result{Makespan: 2}
+	if got := r.Throughput(100); got != 50 {
+		t.Errorf("Throughput = %v", got)
+	}
+	r.Failed = "x"
+	if got := r.Throughput(100); got != 0 {
+		t.Errorf("failed Throughput = %v", got)
+	}
+}
+
+func TestFrameworkStrings(t *testing.T) {
+	names := map[Framework]string{
+		MPI: "MPI4py", Spark: "Spark", Dask: "Dask", RadicalPilot: "RADICAL-Pilot",
+	}
+	for fw, want := range names {
+		if fw.String() != want {
+			t.Errorf("%d.String() = %q", int(fw), fw.String())
+		}
+	}
+	if !strings.Contains(Framework(42).String(), "42") {
+		t.Error("unknown framework string")
+	}
+}
+
+func TestIOBytesSerializedAtFSBandwidth(t *testing.T) {
+	w := Workload{Phases: []Phase{{
+		Name:    "io",
+		Tasks:   UniformTasks(64, 0),
+		IOBytes: 30 << 30, // 30 GB at 3 GB/s = 10s regardless of cores
+	}}}
+	p := DefaultProfile(MPI)
+	p.Startup = 0
+	small := Estimate(p, alloc(Comet(), 1, 24), w)
+	big := Estimate(p, alloc(Comet(), 8, 24), w)
+	if small.IO < 9 || big.IO < 9 {
+		t.Errorf("IO time = %v / %v, want ~10s", small.IO, big.IO)
+	}
+}
+
+// Property: the makespan never beats the ideal lower bound
+// (total-compute/cores and the dispatch-serialization floor), and adding
+// cores never hurts, across randomized workloads.
+func TestEstimateBoundsQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 120,
+		Values: func(args []reflect.Value, r *mathrand.Rand) {
+			args[0] = reflect.ValueOf(uint64(r.Int63()))
+			args[1] = reflect.ValueOf(1 + r.Intn(500))
+			// Stay within physical cores: oversubscribing a non-HT
+			// machine legitimately never helps.
+			args[2] = reflect.ValueOf(1 + r.Intn(20))
+		},
+	}
+	f := func(seed uint64, nTasks, cores int) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		tasks := make([]float64, nTasks)
+		var total float64
+		for i := range tasks {
+			tasks[i] = r.Float64()
+			total += tasks[i]
+		}
+		w := Workload{Phases: []Phase{{Name: "p", Tasks: tasks}}}
+		for _, fw := range Frameworks {
+			p := DefaultProfile(fw)
+			a := Alloc{Machine: Comet(), Nodes: 1, CoresPerNode: cores}
+			res := Estimate(p, a, w)
+			if res.Failed != "" {
+				return false
+			}
+			// Lower bounds: compute spread over cores, dispatch serialization.
+			ideal := p.Startup + total/float64(min(cores, nTasks))
+			if res.Makespan < ideal-1e-9 {
+				return false
+			}
+			if res.Makespan < p.Startup+float64(nTasks)*p.DispatchLatency-1e-9 {
+				return false
+			}
+			// Near-monotonicity: greedy list scheduling admits Graham
+			// anomalies (adding workers can lengthen the schedule by a
+			// bounded factor), so allow a small regression.
+			more := Estimate(p, Alloc{Machine: Comet(), Nodes: 1, CoresPerNode: cores + 4}, w)
+			if more.Failed == "" && more.Makespan > res.Makespan*1.25+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

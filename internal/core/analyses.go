@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"mdtask/internal/dask"
+	"mdtask/internal/linalg"
+	"mdtask/internal/mpi"
+	"mdtask/internal/rdd"
+	"mdtask/internal/traj"
+)
+
+// The remaining §2 analyses: Pairwise Distances (PD) and the 2D-RMSD
+// matrix, both engine-parallel over row chunks. Sub-setting lives on
+// traj.Trajectory (SelectAtoms / SelectFrames / SphereSelection).
+
+// rowChunk is a half-open row range of an output matrix.
+type rowChunk struct{ lo, hi int }
+
+// rowChunks splits n rows into at most parts contiguous chunks.
+func rowChunks(n, parts int) []rowChunk {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]rowChunk, 0, parts)
+	for p := 0; p < parts; p++ {
+		out = append(out, rowChunk{lo: p * n / parts, hi: (p + 1) * n / parts})
+	}
+	return out
+}
+
+// runRowChunks executes fn over row chunks on the configured engine and
+// assembles the row-major result rows into out (each fn call returns
+// the rows [c.lo, c.hi) × width).
+func runRowChunks(cfg Config, n, width int, fn func(c rowChunk) []float64) ([]float64, error) {
+	chunks := rowChunks(n, maxTasksFor(cfg))
+	out := make([]float64, n*width)
+	place := func(c rowChunk, rows []float64) error {
+		if len(rows) != (c.hi-c.lo)*width {
+			return fmt.Errorf("core: chunk [%d,%d) returned %d values, want %d",
+				c.lo, c.hi, len(rows), (c.hi-c.lo)*width)
+		}
+		copy(out[c.lo*width:c.hi*width], rows)
+		return nil
+	}
+	switch cfg.Engine {
+	case EngineSpark:
+		ctx := rdd.NewContext(cfg.parallelism())
+		r := rdd.Parallelize(ctx, chunks, len(chunks))
+		results, err := rdd.Map(r, func(c rowChunk) (struct {
+			c    rowChunk
+			rows []float64
+		}, error) {
+			return struct {
+				c    rowChunk
+				rows []float64
+			}{c, fn(c)}, nil
+		}).Collect()
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
+			if err := place(res.c, res.rows); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+
+	case EngineDask:
+		client := dask.NewClient(cfg.parallelism())
+		nodes := make([]*dask.Delayed, len(chunks))
+		for i, c := range chunks {
+			c := c
+			nodes[i] = client.Delayed(fmt.Sprintf("rows-%d", i),
+				func([]interface{}) (interface{}, error) { return fn(c), nil })
+		}
+		vals, err := client.Compute(nodes...)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range vals {
+			if err := place(chunks[i], v.([]float64)); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+
+	case EngineMPI:
+		type chunkRows struct {
+			C    rowChunk
+			Rows []float64
+		}
+		err := mpi.Run(cfg.ranks(), nil, func(c *mpi.Comm) error {
+			var local []chunkRows
+			for i := c.Rank(); i < len(chunks); i += c.Size() {
+				local = append(local, chunkRows{chunks[i], fn(chunks[i])})
+			}
+			var bytes int64
+			for _, cr := range local {
+				bytes += int64(len(cr.Rows)) * 8
+			}
+			gathered := mpi.Gather(c, 0, local, bytes)
+			if c.Rank() == 0 {
+				for _, g := range gathered {
+					for _, cr := range g {
+						if err := place(cr.C, cr.Rows); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("core: engine %v does not support matrix analyses", cfg.Engine)
+	}
+}
+
+// maxTasksFor derives a task bound from the config.
+func maxTasksFor(cfg Config) int {
+	if cfg.Tasks > 0 {
+		return cfg.Tasks
+	}
+	if cfg.Parallelism > 0 {
+		return 4 * cfg.Parallelism
+	}
+	return 64
+}
+
+// PairwiseDistances computes the n×n Euclidean distance matrix between
+// the atoms of a frame (the paper's PD analysis, §2), parallelized over
+// row chunks on the configured engine (MPI, Spark, or Dask).
+func PairwiseDistances(cfg Config, frame []linalg.Vec3) ([]float64, error) {
+	n := len(frame)
+	return runRowChunks(cfg, n, n, func(c rowChunk) []float64 {
+		return linalg.Cdist(frame[c.lo:c.hi], frame)
+	})
+}
+
+// RMSD2D computes the frame-by-frame RMSD matrix of a trajectory with
+// optimal superposition per pair: element (i, j) is the superposed RMSD
+// between frames i and j. This is the "2D-RMSD" self-comparison used to
+// detect conformational transitions, parallelized over row chunks.
+func RMSD2D(cfg Config, t *traj.Trajectory) ([]float64, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.NFrames()
+	return runRowChunks(cfg, n, n, func(c rowChunk) []float64 {
+		rows := make([]float64, (c.hi-c.lo)*n)
+		for i := c.lo; i < c.hi; i++ {
+			for j := 0; j < n; j++ {
+				rows[(i-c.lo)*n+j] = linalg.RMSD(t.FrameCoords(i), t.FrameCoords(j))
+			}
+		}
+		return rows
+	})
+}

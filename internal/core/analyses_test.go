@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mdtask/internal/linalg"
+	"mdtask/internal/synth"
+)
+
+func TestPairwiseDistancesMatchesSerial(t *testing.T) {
+	sys := synth.Bilayer(300, 3)
+	want := linalg.Cdist(sys.Coords, sys.Coords)
+	for _, eng := range []Engine{EngineMPI, EngineSpark, EngineDask} {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			got, err := PairwiseDistances(Config{Engine: eng, Parallelism: 4, Tasks: 7}, sys.Coords)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("len = %d", len(got))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("element %d: %v vs %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPairwiseDistancesUnsupportedEngine(t *testing.T) {
+	sys := synth.Bilayer(10, 1)
+	if _, err := PairwiseDistances(Config{Engine: EnginePilot}, sys.Coords); err == nil {
+		t.Error("pilot engine accepted for matrix analysis")
+	}
+}
+
+func TestRMSD2DProperties(t *testing.T) {
+	tr := synth.Walk("w", 20, 12, 5, 0)
+	m, err := RMSD2D(Config{Engine: EngineSpark, Parallelism: 4}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tr.NFrames()
+	if len(m) != n*n {
+		t.Fatalf("len = %d", len(m))
+	}
+	for i := 0; i < n; i++ {
+		if m[i*n+i] > 1e-5 { // quaternion-method roundoff near zero
+			t.Errorf("diagonal (%d,%d) = %v", i, i, m[i*n+i])
+		}
+		for j := 0; j < n; j++ {
+			if math.Abs(m[i*n+j]-m[j*n+i]) > 1e-9 {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRMSD2DEnginesAgree(t *testing.T) {
+	tr := synth.Walk("w", 15, 8, 6, 0)
+	ref, err := RMSD2D(Config{Engine: EngineMPI, Parallelism: 3}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []Engine{EngineSpark, EngineDask} {
+		got, err := RMSD2D(Config{Engine: eng, Parallelism: 2, Tasks: 3}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if math.Abs(got[i]-ref[i]) > 1e-12 {
+				t.Fatalf("%v disagrees at %d", eng, i)
+			}
+		}
+	}
+}
+
+func TestRMSD2DRejectsInvalid(t *testing.T) {
+	tr := synth.Walk("w", 5, 3, 1, 0)
+	tr.Frames[0].Coords = tr.Frames[0].Coords[:2]
+	if _, err := RMSD2D(Config{Engine: EngineSpark}, tr); err == nil {
+		t.Error("invalid trajectory accepted")
+	}
+}
+
+func TestRowChunksCoverage(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100} {
+		for _, parts := range []int{1, 3, 200} {
+			pos := 0
+			for _, c := range rowChunks(n, parts) {
+				if c.lo != pos {
+					t.Fatalf("n=%d parts=%d: gap at %d", n, parts, c.lo)
+				}
+				pos = c.hi
+			}
+			if pos != n {
+				t.Fatalf("n=%d parts=%d: ends at %d", n, parts, pos)
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package core is the public high-level API of the library: it runs MD
+// trajectory analyses (Path Similarity Analysis, Leaflet Finder) on a
+// selectable task-parallel engine, and encodes the paper's qualitative
+// framework comparison (Table 1) and decision framework (Table 3) as a
+// programmatic recommendation facility.
+//
+// Typical use:
+//
+//	cfg := core.Config{Engine: core.EngineDask, Parallelism: 8}
+//	m, err := core.PSA(cfg, ensemble, hausdorff.EarlyBreak)
+//	res, err := core.LeafletFinder(cfg, coords, cutoff, leaflet.TreeSearch)
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"mdtask/internal/dask"
+	"mdtask/internal/hausdorff"
+	"mdtask/internal/leaflet"
+	"mdtask/internal/linalg"
+	"mdtask/internal/pilot"
+	"mdtask/internal/psa"
+	"mdtask/internal/rdd"
+	"mdtask/internal/traj"
+)
+
+// Engine selects the task-parallel runtime to execute an analysis on.
+type Engine int
+
+const (
+	// EngineMPI runs the SPMD MPI-like runtime.
+	EngineMPI Engine = iota
+	// EngineSpark runs the Spark-like RDD engine.
+	EngineSpark
+	// EngineDask runs the Dask-like delayed/task-graph engine.
+	EngineDask
+	// EnginePilot runs the RADICAL-Pilot-like pilot-job engine.
+	EnginePilot
+)
+
+// String returns the engine's display name.
+func (e Engine) String() string {
+	switch e {
+	case EngineMPI:
+		return "MPI"
+	case EngineSpark:
+		return "Spark"
+	case EngineDask:
+		return "Dask"
+	case EnginePilot:
+		return "RADICAL-Pilot"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Engines lists all runtimes in the paper's comparison order.
+var Engines = []Engine{EngineMPI, EngineSpark, EngineDask, EnginePilot}
+
+// Config selects and sizes the execution engine for an analysis run.
+type Config struct {
+	Engine Engine
+	// Parallelism is the worker/rank count (< 1: GOMAXPROCS for the
+	// shared-memory engines, 4 for MPI/pilot).
+	Parallelism int
+	// Tasks bounds the task count of partitioned analyses (0: one task
+	// per worker for PSA, 1024 for Leaflet Finder, matching the paper).
+	Tasks int
+	// PilotDir is the staging directory for EnginePilot (default: a
+	// fresh temporary directory).
+	PilotDir string
+	// PilotConfig tunes the pilot coordination latencies (zero value:
+	// pilot.Defaults()).
+	PilotConfig pilot.Config
+}
+
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return 0 // engines interpret 0 as GOMAXPROCS
+}
+
+func (c Config) ranks() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return 4
+}
+
+// PSA computes the all-pairs Hausdorff distance matrix of the ensemble
+// on the configured engine (the paper's §4.2 analysis).
+func PSA(cfg Config, ens traj.Ensemble, method hausdorff.Method) (*psa.Matrix, error) {
+	if err := ens.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ens) == 0 {
+		return psa.NewMatrix(0), nil
+	}
+	wantTasks := cfg.Tasks
+	if wantTasks <= 0 {
+		wantTasks = cfg.ranks()
+	}
+	n1 := psa.DefaultGroupSize(len(ens), wantTasks)
+	switch cfg.Engine {
+	case EngineSpark:
+		return psa.RunRDD(rdd.NewContext(cfg.parallelism()), ens, n1, method)
+	case EngineDask:
+		return psa.RunDask(dask.NewClient(cfg.parallelism()), ens, n1, method)
+	case EngineMPI:
+		return psa.RunMPI(cfg.ranks(), ens, n1, method)
+	case EnginePilot:
+		p, cleanup, err := cfg.startPilot()
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		return psa.RunPilot(p, ens, n1, method)
+	default:
+		return nil, fmt.Errorf("core: unknown engine %v", cfg.Engine)
+	}
+}
+
+// LeafletFinder identifies the lipid leaflets of a membrane snapshot on
+// the configured engine using the selected architectural approach (the
+// paper's §4.3). EnginePilot supports only leaflet.TaskAPI2D, the
+// configuration the paper evaluates.
+func LeafletFinder(cfg Config, coords []linalg.Vec3, cutoff float64, approach leaflet.Approach) (*leaflet.Result, error) {
+	if len(coords) == 0 {
+		return nil, fmt.Errorf("core: empty coordinate set")
+	}
+	if cutoff <= 0 {
+		return nil, fmt.Errorf("core: cutoff must be positive, got %g", cutoff)
+	}
+	tasks := cfg.Tasks
+	if tasks <= 0 {
+		tasks = 1024
+	}
+	switch cfg.Engine {
+	case EngineSpark:
+		return leaflet.RunRDD(rdd.NewContext(cfg.parallelism()), approach, coords, cutoff, tasks)
+	case EngineDask:
+		return leaflet.RunDask(dask.NewClient(cfg.parallelism()), approach, coords, cutoff, tasks)
+	case EngineMPI:
+		return leaflet.RunMPI(cfg.ranks(), approach, coords, cutoff, tasks)
+	case EnginePilot:
+		if approach != leaflet.TaskAPI2D {
+			return nil, fmt.Errorf("core: pilot engine supports only the Task-API 2-D approach, got %v", approach)
+		}
+		p, cleanup, err := cfg.startPilot()
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		return leaflet.RunPilot(p, coords, cutoff, tasks)
+	default:
+		return nil, fmt.Errorf("core: unknown engine %v", cfg.Engine)
+	}
+}
+
+// startPilot brings up a pilot with the config's staging directory and
+// latencies, returning a cleanup function that shuts it down.
+func (c Config) startPilot() (*pilot.Pilot, func(), error) {
+	dir := c.PilotDir
+	cleanupDir := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "mdtask-pilot-*")
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: creating pilot staging dir: %w", err)
+		}
+		dir = d
+		cleanupDir = true
+	}
+	pcfg := c.PilotConfig
+	if pcfg == (pilot.Config{}) {
+		pcfg = pilot.Defaults()
+	}
+	db := pilot.NewDB(pcfg.DBLatency)
+	p, err := pilot.NewPilot(c.ranks(), dir, db, pcfg, nil)
+	if err != nil {
+		if cleanupDir {
+			os.RemoveAll(dir)
+		}
+		return nil, nil, err
+	}
+	return p, func() {
+		p.Shutdown()
+		if cleanupDir {
+			os.RemoveAll(dir)
+		}
+	}, nil
+}
+
+// RMSDSeries computes the RMSD (with optimal superposition) of every
+// frame of a trajectory against a reference frame: the per-frame
+// analysis of §2 ("RMSD is used to identify the deviation of atom
+// positions between frames").
+func RMSDSeries(t *traj.Trajectory, ref []linalg.Vec3) ([]float64, error) {
+	if len(ref) != t.NAtoms {
+		return nil, fmt.Errorf("core: reference has %d atoms, trajectory has %d", len(ref), t.NAtoms)
+	}
+	out := make([]float64, len(t.Frames))
+	for i, f := range t.Frames {
+		out[i] = linalg.RMSD(f.Coords, ref)
+	}
+	return out, nil
+}

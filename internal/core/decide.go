@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Support grades how well a framework supports a criterion, following
+// the paper's Table 3 legend.
+type Support int
+
+const (
+	// Unsupported: "-" — unsupported or low performance.
+	Unsupported Support = iota
+	// Minor: "o" — minor support.
+	Minor
+	// Supported: "+" — supported.
+	Supported
+	// Major: "++" — major support.
+	Major
+)
+
+// String renders the paper's symbols.
+func (s Support) String() string {
+	switch s {
+	case Unsupported:
+		return "-"
+	case Minor:
+		return "o"
+	case Supported:
+		return "+"
+	case Major:
+		return "++"
+	default:
+		return "?"
+	}
+}
+
+// Criterion is one row of the decision framework (Table 3).
+type Criterion string
+
+// The criteria of Table 3, grouped as in the paper.
+const (
+	// Task management criteria.
+	LowLatency  Criterion = "Low Latency"
+	Throughput  Criterion = "Throughput"
+	MPIHPCTasks Criterion = "MPI/HPC Tasks"
+	TaskAPI     Criterion = "Task API"
+	ManyTasks   Criterion = "Large Number of Tasks"
+	// Application characteristics criteria.
+	PythonNative   Criterion = "Python/native Code"
+	JavaCode       Criterion = "Java"
+	HighLevelAbstr Criterion = "Higher-Level Abstraction"
+	Shuffle        Criterion = "Shuffle"
+	BroadcastCrit  Criterion = "Broadcast"
+	Caching        Criterion = "Caching"
+)
+
+// TaskManagementCriteria and ApplicationCriteria list Table 3's rows in
+// order.
+var (
+	TaskManagementCriteria = []Criterion{LowLatency, Throughput, MPIHPCTasks, TaskAPI, ManyTasks}
+	ApplicationCriteria    = []Criterion{PythonNative, JavaCode, HighLevelAbstr, Shuffle, BroadcastCrit, Caching}
+)
+
+// DecisionTable is the paper's Table 3: per-criterion support rankings
+// for RADICAL-Pilot, Spark and Dask.
+var DecisionTable = map[Criterion]map[Engine]Support{
+	LowLatency:     {EnginePilot: Unsupported, EngineSpark: Minor, EngineDask: Supported},
+	Throughput:     {EnginePilot: Unsupported, EngineSpark: Supported, EngineDask: Major},
+	MPIHPCTasks:    {EnginePilot: Supported, EngineSpark: Minor, EngineDask: Minor},
+	TaskAPI:        {EnginePilot: Supported, EngineSpark: Minor, EngineDask: Major},
+	ManyTasks:      {EnginePilot: Unsupported, EngineSpark: Major, EngineDask: Major},
+	PythonNative:   {EnginePilot: Major, EngineSpark: Minor, EngineDask: Supported},
+	JavaCode:       {EnginePilot: Minor, EngineSpark: Major, EngineDask: Minor},
+	HighLevelAbstr: {EnginePilot: Unsupported, EngineSpark: Major, EngineDask: Supported},
+	Shuffle:        {EnginePilot: Unsupported, EngineSpark: Major, EngineDask: Supported},
+	BroadcastCrit:  {EnginePilot: Unsupported, EngineSpark: Major, EngineDask: Supported},
+	Caching:        {EnginePilot: Unsupported, EngineSpark: Major, EngineDask: Minor},
+}
+
+// Traits summarizes the paper's Table 1 (framework comparison) for
+// documentation and tooling.
+type Traits struct {
+	Engine          Engine
+	Languages       string
+	TaskAbstraction string
+	FunctionalAPI   string
+	HigherLevel     string
+	ResourceMgmt    string
+	Scheduler       string
+	Shuffle         string
+	Limitations     string
+}
+
+// Table1 reproduces the paper's framework-comparison table.
+var Table1 = []Traits{
+	{
+		Engine:          EnginePilot,
+		Languages:       "Python",
+		TaskAbstraction: "Task (Compute-Unit)",
+		FunctionalAPI:   "-",
+		HigherLevel:     "EnTK",
+		ResourceMgmt:    "Pilot-Job",
+		Scheduler:       "Individual Tasks",
+		Shuffle:         "-",
+		Limitations:     "no shuffle, filesystem-based communication",
+	},
+	{
+		Engine:          EngineSpark,
+		Languages:       "Java, Scala, Python, R",
+		TaskAbstraction: "Map-Task",
+		FunctionalAPI:   "RDD API",
+		HigherLevel:     "Dataframe, ML Pipeline, MLlib",
+		ResourceMgmt:    "Spark Execution Engines",
+		Scheduler:       "Stage-oriented DAG",
+		Shuffle:         "hash/sort-based shuffle",
+		Limitations:     "high overheads for Python tasks (serialization)",
+	},
+	{
+		Engine:          EngineDask,
+		Languages:       "Python",
+		TaskAbstraction: "Delayed",
+		FunctionalAPI:   "Bag",
+		HigherLevel:     "Dataframe, Arrays for block computations",
+		ResourceMgmt:    "Dask Distributed Scheduler",
+		Scheduler:       "DAG",
+		Shuffle:         "hash/sort-based shuffle",
+		Limitations:     "Dask Array can not deal with dynamic output shapes",
+	},
+}
+
+// Requirements describes an application for Recommend, mirroring the
+// criteria of the paper's conceptual framework (§4.4).
+type Requirements struct {
+	// Criteria the application needs; each is weighted equally.
+	Needs []Criterion
+}
+
+// Recommendation is a ranked engine with its score and the per-criterion
+// support that produced it.
+type Recommendation struct {
+	Engine  Engine
+	Score   int
+	Support map[Criterion]Support
+}
+
+// Recommend ranks the three task-parallel frameworks (MPI is the
+// baseline, not ranked, as in Table 3) against the application's needs
+// using the paper's decision framework. Engines are ordered by
+// descending score; ties preserve Table 3's column order.
+func Recommend(req Requirements) ([]Recommendation, error) {
+	candidates := []Engine{EnginePilot, EngineSpark, EngineDask}
+	recs := make([]Recommendation, 0, len(candidates))
+	for _, e := range candidates {
+		rec := Recommendation{Engine: e, Support: make(map[Criterion]Support)}
+		for _, c := range req.Needs {
+			row, ok := DecisionTable[c]
+			if !ok {
+				return nil, fmt.Errorf("core: unknown criterion %q", c)
+			}
+			s := row[e]
+			rec.Support[c] = s
+			rec.Score += int(s)
+		}
+		recs = append(recs, rec)
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Score > recs[j].Score })
+	return recs, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+// The Big Data Ogres classification of the two analysis applications,
+// as the paper characterizes them in §2 using the four Ogre views
+// (execution, data source & style, processing, problem architecture).
+// These are structured documentation: tooling can use them to reason
+// about which engine features an analysis exercises.
+
+// OgreView names one of the four classification views.
+type OgreView string
+
+// The four Ogre views.
+const (
+	ExecutionView    OgreView = "execution"
+	DataSourceView   OgreView = "data source & style"
+	ProcessingView   OgreView = "processing"
+	ProblemArcheView OgreView = "problem architecture"
+)
+
+// Ogre classifies one application: its facets per view.
+type Ogre struct {
+	Application string
+	Facets      map[OgreView][]string
+}
+
+// PSAOgre is the paper's classification of Path Similarity Analysis
+// (§2.1.1).
+var PSAOgre = Ogre{
+	Application: "Path Similarity Analysis (Hausdorff)",
+	Facets: map[OgreView][]string{
+		ProblemArcheView: {"embarrassingly parallel", "O(n^2) complexity"},
+		ProcessingView:   {"linear algebra kernels"},
+		ExecutionView: {
+			"HPC nodes",
+			"numeric array libraries",
+			"medium-to-large input volume",
+			"small output",
+		},
+		DataSourceView: {
+			"produced by HPC simulations",
+			"stored on parallel filesystems (Lustre)",
+		},
+	},
+}
+
+// LeafletFinderOgre is the paper's classification of the Leaflet Finder
+// (§2.1.2).
+var LeafletFinderOgre = Ogre{
+	Application: "Leaflet Finder",
+	Facets: map[OgreView][]string{
+		ProblemArcheView: {"MapReduce-efficient two-stage"},
+		ProcessingView:   {"graph algorithms", "linear algebra kernels"},
+		ExecutionView: {
+			"HPC nodes",
+			"matrix system representation",
+			"graph output representation",
+			"O(n^2) pairwise or O(n log n) tree edge discovery",
+			"O(|V|+|E|) connected components",
+		},
+		DataSourceView: {
+			"produced by HPC simulations",
+			"stored on parallel filesystems (Lustre)",
+		},
+	},
+}
+
+// Ogres lists the classified applications.
+var Ogres = []Ogre{PSAOgre, LeafletFinderOgre}

@@ -1,0 +1,215 @@
+// Package cpptraj reproduces the paper's CPPTraj comparison (§2.2,
+// §4.2, Fig 6): an optimized native implementation of the 2D-RMSD
+// kernel, parallelized over trajectory pairs with the MPI runtime.
+//
+// The paper compares CPPTraj built with GNU (no optimization) against
+// Intel -O3; here the two compiler variants become two kernel
+// implementations with genuinely different performance:
+//
+//   - Naive: the straightforward triple loop (one dRMS per frame pair).
+//   - Blocked: an algebraically restructured kernel that expands
+//     dRMS² = (|a|² + |b|² - 2 a·b)/N, precomputes per-frame norms, and
+//     computes the cross terms as a cache-blocked matrix product.
+//
+// Both produce identical matrices (verified by tests); the blocked one
+// is several times faster, mirroring the paper's GNU-vs-Intel gap.
+package cpptraj
+
+import (
+	"fmt"
+	"math"
+
+	"mdtask/internal/hausdorff"
+	"mdtask/internal/linalg"
+	"mdtask/internal/mpi"
+	"mdtask/internal/traj"
+)
+
+// Kernel selects the 2D-RMSD implementation.
+type Kernel int
+
+const (
+	// Naive is the unoptimized triple loop ("GNU, no optimizations").
+	Naive Kernel = iota
+	// Blocked is the cache-blocked restructured kernel ("Intel -O3").
+	Blocked
+)
+
+// String returns the kernel's display name, following the paper's
+// compiler labels.
+func (k Kernel) String() string {
+	switch k {
+	case Naive:
+		return "GNU"
+	case Blocked:
+		return "Intel -Wall -O3 (no MKL)"
+	default:
+		return "unknown"
+	}
+}
+
+// blockSize is the frame-block edge for the cache-blocked kernel.
+const blockSize = 16
+
+// Matrix2DRMS computes the frame-by-frame dRMS matrix between two
+// trajectories with the selected kernel.
+func Matrix2DRMS(a, b *traj.Trajectory, k Kernel) ([]float64, error) {
+	if a.NAtoms != b.NAtoms {
+		return nil, fmt.Errorf("cpptraj: atom counts differ: %d vs %d", a.NAtoms, b.NAtoms)
+	}
+	fa, fb := hausdorff.Frames(a), hausdorff.Frames(b)
+	switch k {
+	case Naive:
+		return hausdorff.Matrix2DRMS(fa, fb), nil
+	case Blocked:
+		return matrixBlocked(fa, fb), nil
+	default:
+		return nil, fmt.Errorf("cpptraj: unknown kernel %d", int(k))
+	}
+}
+
+// flatten packs frames into a contiguous row-major [nFrames][3*nAtoms]
+// buffer and returns it with the per-frame squared norms.
+func flatten(frames [][]linalg.Vec3) (flat []float64, norms []float64, width int) {
+	if len(frames) == 0 {
+		return nil, nil, 0
+	}
+	width = 3 * len(frames[0])
+	flat = make([]float64, len(frames)*width)
+	norms = make([]float64, len(frames))
+	for i, f := range frames {
+		row := flat[i*width : (i+1)*width]
+		var n float64
+		for j, p := range f {
+			row[3*j], row[3*j+1], row[3*j+2] = p[0], p[1], p[2]
+			n += p.Norm2()
+		}
+		norms[i] = n
+	}
+	return flat, norms, width
+}
+
+// matrixBlocked computes the dRMS matrix via the norm/cross-term
+// decomposition with cache blocking over frame tiles.
+func matrixBlocked(a, b [][]linalg.Vec3) []float64 {
+	na, nb := len(a), len(b)
+	out := make([]float64, na*nb)
+	if na == 0 || nb == 0 {
+		return out
+	}
+	nAtoms := len(a[0])
+	fa, normA, w := flatten(a)
+	fb, normB, _ := flatten(b)
+	inv := 1 / float64(nAtoms)
+
+	for i0 := 0; i0 < na; i0 += blockSize {
+		i1 := min(i0+blockSize, na)
+		for j0 := 0; j0 < nb; j0 += blockSize {
+			j1 := min(j0+blockSize, nb)
+			for i := i0; i < i1; i++ {
+				ra := fa[i*w : (i+1)*w]
+				row := out[i*nb:]
+				j := j0
+				// Register blocking: four j-frames per pass reuse each
+				// loaded ra element four times, quartering memory
+				// traffic on this memory-bound kernel.
+				for ; j+4 <= j1; j += 4 {
+					rb0 := fb[j*w : (j+1)*w]
+					rb1 := fb[(j+1)*w : (j+2)*w]
+					rb2 := fb[(j+2)*w : (j+3)*w]
+					rb3 := fb[(j+3)*w : (j+4)*w]
+					var d0, d1, d2, d3 float64
+					for k, a := range ra {
+						d0 += a * rb0[k]
+						d1 += a * rb1[k]
+						d2 += a * rb2[k]
+						d3 += a * rb3[k]
+					}
+					row[j] = finishMSD(normA[i], normB[j], d0, inv)
+					row[j+1] = finishMSD(normA[i], normB[j+1], d1, inv)
+					row[j+2] = finishMSD(normA[i], normB[j+2], d2, inv)
+					row[j+3] = finishMSD(normA[i], normB[j+3], d3, inv)
+				}
+				for ; j < j1; j++ {
+					rb := fb[j*w : (j+1)*w]
+					var dot float64
+					for k, a := range ra {
+						dot += a * rb[k]
+					}
+					row[j] = finishMSD(normA[i], normB[j], dot, inv)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// finishMSD converts norm/cross terms to a dRMS value, clamping tiny
+// negative round-off.
+func finishMSD(na, nb, dot, inv float64) float64 {
+	msd := (na + nb - 2*dot) * inv
+	if msd < 0 {
+		msd = 0
+	}
+	return math.Sqrt(msd)
+}
+
+// PairResult is the Hausdorff distance of one trajectory pair computed
+// from its full 2D-RMSD matrix.
+type PairResult struct {
+	I, J int
+	H    float64
+}
+
+// RunEnsemble computes the all-pairs Hausdorff distance matrix of the
+// ensemble the CPPTraj way: the 2D-RMSD between every trajectory pair is
+// computed in parallel over MPI ranks (frames equally distributed, at
+// least one rank per ensemble member per §2.2), results are gathered at
+// rank 0, and the Hausdorff distances are extracted from the full
+// matrices. Returns the N×N distance matrix row-major.
+func RunEnsemble(ens traj.Ensemble, k Kernel, ranks int) ([]float64, error) {
+	n := len(ens)
+	if err := ens.Validate(); err != nil {
+		return nil, err
+	}
+	pairs := make([][2]int, 0, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	out := make([]float64, n*n)
+	err := mpi.Run(ranks, nil, func(c *mpi.Comm) error {
+		var local []PairResult
+		for idx := c.Rank(); idx < len(pairs); idx += c.Size() {
+			i, j := pairs[idx][0], pairs[idx][1]
+			m, err := Matrix2DRMS(ens[i], ens[j], k)
+			if err != nil {
+				return err
+			}
+			h := hausdorff.FromMatrix(m, ens[i].NFrames(), ens[j].NFrames())
+			local = append(local, PairResult{I: i, J: j, H: h})
+		}
+		gathered := mpi.Gather(c, 0, local, int64(len(local))*24)
+		if c.Rank() == 0 {
+			for _, rs := range gathered {
+				for _, r := range rs {
+					out[r.I*n+r.J] = r.H
+					out[r.J*n+r.I] = r.H
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

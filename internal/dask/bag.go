@@ -1,0 +1,145 @@
+package dask
+
+import "fmt"
+
+// Bag is Dask's unordered partitioned collection, built here on top of
+// Delayed nodes: each partition is one graph node evaluating to []T.
+// The paper maps its MapReduce-style Leaflet Finder implementations to
+// Bags (§3.2, Table 1).
+type Bag[T any] struct {
+	client *Client
+	parts  []*Delayed // each evaluates to []T
+}
+
+// BagFromSequence splits data into numParts contiguous partitions
+// (0 uses the client's worker count).
+func BagFromSequence[T any](c *Client, data []T, numParts int) *Bag[T] {
+	if numParts <= 0 {
+		numParts = c.Workers()
+	}
+	if numParts > len(data) && len(data) > 0 {
+		numParts = len(data)
+	}
+	if numParts == 0 {
+		numParts = 1
+	}
+	n := len(data)
+	parts := make([]*Delayed, numParts)
+	for i := 0; i < numParts; i++ {
+		lo := i * n / numParts
+		hi := (i + 1) * n / numParts
+		seg := data[lo:hi]
+		parts[i] = c.Value(fmt.Sprintf("bag-part-%d", i), seg)
+	}
+	return &Bag[T]{client: c, parts: parts}
+}
+
+// BagFromDelayed builds a bag from existing nodes, each of which must
+// evaluate to []T.
+func BagFromDelayed[T any](c *Client, parts []*Delayed) *Bag[T] {
+	return &Bag[T]{client: c, parts: parts}
+}
+
+// NumPartitions returns the bag's partition count.
+func (b *Bag[T]) NumPartitions() int { return len(b.parts) }
+
+// BagMap applies f to every element.
+func BagMap[T, U any](b *Bag[T], f func(T) (U, error)) *Bag[U] {
+	parts := make([]*Delayed, len(b.parts))
+	for i, p := range b.parts {
+		parts[i] = b.client.Delayed(fmt.Sprintf("map-%d", i), func(args []interface{}) (interface{}, error) {
+			in := args[0].([]T)
+			out := make([]U, len(in))
+			var err error
+			for j, v := range in {
+				if out[j], err = f(v); err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		}, p)
+	}
+	return &Bag[U]{client: b.client, parts: parts}
+}
+
+// BagMapPartitions applies f to each whole partition.
+func BagMapPartitions[T, U any](b *Bag[T], f func(part int, in []T) ([]U, error)) *Bag[U] {
+	parts := make([]*Delayed, len(b.parts))
+	for i, p := range b.parts {
+		i := i
+		parts[i] = b.client.Delayed(fmt.Sprintf("mapPartitions-%d", i), func(args []interface{}) (interface{}, error) {
+			out, err := f(i, args[0].([]T))
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		}, p)
+	}
+	return &Bag[U]{client: b.client, parts: parts}
+}
+
+// BagFilter keeps elements matching pred.
+func BagFilter[T any](b *Bag[T], pred func(T) bool) *Bag[T] {
+	parts := make([]*Delayed, len(b.parts))
+	for i, p := range b.parts {
+		parts[i] = b.client.Delayed(fmt.Sprintf("filter-%d", i), func(args []interface{}) (interface{}, error) {
+			in := args[0].([]T)
+			var out []T
+			for _, v := range in {
+				if pred(v) {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		}, p)
+	}
+	return &Bag[T]{client: b.client, parts: parts}
+}
+
+// BagFold reduces the bag with a per-partition accumulator and a
+// pairwise combiner of accumulators (Dask's bag.fold). As in Dask, the
+// zero value seeds every partition's accumulation, so it must be an
+// identity of combine. The combine tree is binary, so reduction depth
+// is logarithmic like Dask's.
+func BagFold[T, A any](b *Bag[T], zero A, acc func(A, T) A, combine func(A, A) A) *Delayed {
+	partials := make([]*Delayed, len(b.parts))
+	for i, p := range b.parts {
+		partials[i] = b.client.Delayed(fmt.Sprintf("fold-acc-%d", i), func(args []interface{}) (interface{}, error) {
+			a := zero
+			for _, v := range args[0].([]T) {
+				a = acc(a, v)
+			}
+			return a, nil
+		}, p)
+	}
+	for len(partials) > 1 {
+		var next []*Delayed
+		for i := 0; i < len(partials); i += 2 {
+			if i+1 == len(partials) {
+				next = append(next, partials[i])
+				continue
+			}
+			next = append(next, b.client.Delayed("fold-combine", func(args []interface{}) (interface{}, error) {
+				return combine(args[0].(A), args[1].(A)), nil
+			}, partials[i], partials[i+1]))
+		}
+		partials = next
+	}
+	if len(partials) == 0 {
+		return b.client.Value("fold-empty", zero)
+	}
+	return partials[0]
+}
+
+// Compute evaluates the bag and concatenates its partitions.
+func (b *Bag[T]) Compute() ([]T, error) {
+	vals, err := b.client.Compute(b.parts...)
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, v := range vals {
+		out = append(out, v.([]T)...)
+	}
+	return out, nil
+}

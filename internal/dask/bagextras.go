@@ -1,0 +1,92 @@
+package dask
+
+import "fmt"
+
+// Additional Bag operations from the Dask Bag API surface.
+
+// BagFlatMap applies f and concatenates the per-element result slices.
+func BagFlatMap[T, U any](b *Bag[T], f func(T) ([]U, error)) *Bag[U] {
+	parts := make([]*Delayed, len(b.parts))
+	for i, p := range b.parts {
+		parts[i] = b.client.Delayed(fmt.Sprintf("flatMap-%d", i), func(args []interface{}) (interface{}, error) {
+			var out []U
+			for _, v := range args[0].([]T) {
+				us, err := f(v)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, us...)
+			}
+			return out, nil
+		}, p)
+	}
+	return &Bag[U]{client: b.client, parts: parts}
+}
+
+// BagCount evaluates the bag and returns its element count.
+func BagCount[T any](b *Bag[T]) (int, error) {
+	counts := make([]*Delayed, len(b.parts))
+	for i, p := range b.parts {
+		counts[i] = b.client.Delayed(fmt.Sprintf("count-%d", i), func(args []interface{}) (interface{}, error) {
+			return len(args[0].([]T)), nil
+		}, p)
+	}
+	vals, err := b.client.Compute(counts...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, v := range vals {
+		total += v.(int)
+	}
+	return total, nil
+}
+
+// BagGroupBy groups elements by key into a map, computed with
+// per-partition grouping and a final merge (Dask's groupby is similarly
+// a full-shuffle operation).
+func BagGroupBy[T any, K comparable](b *Bag[T], key func(T) K) (map[K][]T, error) {
+	partials := make([]*Delayed, len(b.parts))
+	for i, p := range b.parts {
+		partials[i] = b.client.Delayed(fmt.Sprintf("groupby-%d", i), func(args []interface{}) (interface{}, error) {
+			m := make(map[K][]T)
+			for _, v := range args[0].([]T) {
+				k := key(v)
+				m[k] = append(m[k], v)
+			}
+			return m, nil
+		}, p)
+	}
+	vals, err := b.client.Compute(partials...)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K][]T)
+	var items int64
+	for _, v := range vals {
+		for k, vs := range v.(map[K][]T) {
+			out[k] = append(out[k], vs...)
+			items += int64(len(vs))
+		}
+	}
+	b.client.Metrics.AddShuffle(items * 24)
+	return out, nil
+}
+
+// BagDistinct evaluates the bag and returns its distinct elements
+// (order unspecified within partitions, stable across runs).
+func BagDistinct[T comparable](b *Bag[T]) ([]T, error) {
+	all, err := b.Compute()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[T]bool, len(all))
+	var out []T
+	for _, v := range all {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package dask
+
+import "fmt"
+
+// Futures API: dask.distributed's submit/gather interface, built on the
+// same scheduler as Delayed. A Future is a handle to an asynchronously
+// computed value; Submit dispatches immediately (fire-and-forget) and
+// Gather blocks for results.
+
+// Future is a handle to an asynchronously computed value.
+type Future struct {
+	node *Delayed
+	done chan struct{}
+}
+
+// Submit schedules fn(args...) for immediate execution on the cluster
+// and returns a Future. Dependencies expressed as Futures are awaited
+// by the scheduler, not the caller.
+func (c *Client) Submit(name string, fn func(args []interface{}) (interface{}, error), deps ...*Future) *Future {
+	depNodes := make([]*Delayed, len(deps))
+	for i, d := range deps {
+		depNodes[i] = d.node
+	}
+	node := c.Delayed(name, fn, depNodes...)
+	f := &Future{node: node, done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		// Compute memoizes, so concurrent graphs sharing nodes are safe.
+		_, _ = c.Compute(node)
+	}()
+	return f
+}
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Result blocks until the future completes and returns its value.
+func (f *Future) Result() (interface{}, error) {
+	<-f.done
+	if f.node.err != nil {
+		return nil, f.node.err
+	}
+	return f.node.val, nil
+}
+
+// Gather blocks for all futures and returns their values in order,
+// failing on the first error, like distributed.Client.gather.
+func (c *Client) Gather(futures ...*Future) ([]interface{}, error) {
+	out := make([]interface{}, len(futures))
+	for i, f := range futures {
+		v, err := f.Result()
+		if err != nil {
+			return nil, fmt.Errorf("dask: gathering future %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package dask
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSubmitAndResult(t *testing.T) {
+	c := NewClient(2)
+	f := c.Submit("answer", func([]interface{}) (interface{}, error) { return 41 + 1, nil })
+	v, err := f.Result()
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Result = %v, %v", v, err)
+	}
+	if !f.Done() {
+		t.Error("Done = false after Result")
+	}
+}
+
+func TestSubmitDependencies(t *testing.T) {
+	c := NewClient(4)
+	a := c.Submit("a", func([]interface{}) (interface{}, error) {
+		time.Sleep(2 * time.Millisecond)
+		return 10, nil
+	})
+	b := c.Submit("b", func(args []interface{}) (interface{}, error) {
+		return args[0].(int) * 3, nil
+	}, a)
+	vals, err := c.Gather(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(int) != 10 || vals[1].(int) != 30 {
+		t.Fatalf("Gather = %v", vals)
+	}
+}
+
+func TestGatherPropagatesError(t *testing.T) {
+	c := NewClient(2)
+	bad := c.Submit("bad", func([]interface{}) (interface{}, error) {
+		return nil, errors.New("future failed")
+	})
+	if _, err := c.Gather(bad); err == nil || !strings.Contains(err.Error(), "future failed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestManyConcurrentFutures(t *testing.T) {
+	c := NewClient(8)
+	futures := make([]*Future, 200)
+	for i := range futures {
+		i := i
+		futures[i] = c.Submit("n", func([]interface{}) (interface{}, error) { return i, nil })
+	}
+	vals, err := c.Gather(futures...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v.(int) != i {
+			t.Fatalf("vals[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestBagFlatMap(t *testing.T) {
+	c := NewClient(2)
+	b := BagFromSequence(c, []int{1, 2, 3}, 2)
+	fm := BagFlatMap(b, func(x int) ([]int, error) { return []int{x, -x}, nil })
+	got, err := fm.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, -1, 2, -2, 3, -3}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBagCount(t *testing.T) {
+	c := NewClient(2)
+	b := BagFromSequence(c, make([]int, 37), 5)
+	n, err := BagCount(b)
+	if err != nil || n != 37 {
+		t.Fatalf("BagCount = %d, %v", n, err)
+	}
+}
+
+func TestBagGroupBy(t *testing.T) {
+	c := NewClient(3)
+	b := BagFromSequence(c, []int{1, 2, 3, 4, 5, 6, 7}, 3)
+	groups, err := BagGroupBy(b, func(x int) int { return x % 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(groups[0])
+	sort.Ints(groups[1])
+	if !reflect.DeepEqual(groups[0], []int{2, 4, 6}) || !reflect.DeepEqual(groups[1], []int{1, 3, 5, 7}) {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestBagDistinct(t *testing.T) {
+	c := NewClient(2)
+	b := BagFromSequence(c, []string{"a", "b", "a", "c", "b"}, 2)
+	got, err := BagDistinct(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("distinct = %v", got)
+	}
+}

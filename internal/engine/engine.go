@@ -1,0 +1,165 @@
+// Package engine provides the shared execution machinery of the four
+// task-parallel runtimes in this repository: a bounded worker pool with
+// panic capture, per-task timing, and the metrics structure every
+// runtime reports. The rdd, dask, pilot and mpi packages build their
+// framework-specific semantics on top of these primitives.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics accumulates execution statistics of a runtime instance.
+// All fields are safe for concurrent update through the methods.
+type Metrics struct {
+	mu             sync.Mutex
+	Tasks          int64
+	Stages         int64
+	ComputeTime    time.Duration // summed task wall time
+	MaxTask        time.Duration
+	MinTask        time.Duration
+	BytesShuffled  int64
+	BytesBroadcast int64
+	BytesStaged    int64 // pilot file staging
+	Failures       int64
+}
+
+// RecordTask accounts one completed task of the given duration.
+func (m *Metrics) RecordTask(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Tasks++
+	m.ComputeTime += d
+	if d > m.MaxTask {
+		m.MaxTask = d
+	}
+	if m.MinTask == 0 || d < m.MinTask {
+		m.MinTask = d
+	}
+}
+
+// RecordStage accounts one stage/phase barrier.
+func (m *Metrics) RecordStage() { atomic.AddInt64(&m.Stages, 1) }
+
+// AddShuffle accounts bytes moved through a shuffle.
+func (m *Metrics) AddShuffle(n int64) { atomic.AddInt64(&m.BytesShuffled, n) }
+
+// AddBroadcast accounts bytes moved through a broadcast.
+func (m *Metrics) AddBroadcast(n int64) { atomic.AddInt64(&m.BytesBroadcast, n) }
+
+// AddStaged accounts bytes written to/read from staging files.
+func (m *Metrics) AddStaged(n int64) { atomic.AddInt64(&m.BytesStaged, n) }
+
+// RecordFailure accounts one failed task.
+func (m *Metrics) RecordFailure() { atomic.AddInt64(&m.Failures, 1) }
+
+// Snapshot returns a copy of the metrics safe to read.
+func (m *Metrics) Snapshot() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Metrics{
+		Tasks:          m.Tasks,
+		Stages:         atomic.LoadInt64(&m.Stages),
+		ComputeTime:    m.ComputeTime,
+		MaxTask:        m.MaxTask,
+		MinTask:        m.MinTask,
+		BytesShuffled:  atomic.LoadInt64(&m.BytesShuffled),
+		BytesBroadcast: atomic.LoadInt64(&m.BytesBroadcast),
+		BytesStaged:    atomic.LoadInt64(&m.BytesStaged),
+		Failures:       atomic.LoadInt64(&m.Failures),
+	}
+}
+
+// TaskPanicError wraps a panic recovered from a task so callers get an
+// error instead of a crashed process.
+type TaskPanicError struct {
+	Task  int
+	Value interface{}
+}
+
+func (e *TaskPanicError) Error() string {
+	return fmt.Sprintf("engine: task %d panicked: %v", e.Task, e.Value)
+}
+
+// Pool is a bounded parallel-for executor.
+type Pool struct {
+	workers int
+	metrics *Metrics
+}
+
+// NewPool creates a pool with the given parallelism; values < 1 default
+// to GOMAXPROCS. The metrics sink may be nil.
+func NewPool(workers int, m *Metrics) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, metrics: m}
+}
+
+// Workers returns the pool's parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(i) for i in [0, n) on the pool's workers and returns
+// the first error (including recovered panics). All n iterations are
+// attempted even after an error so that partial results are complete.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next    int64 = -1
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		first   error
+	)
+	record := func(err error) {
+		if err != nil {
+			if p.metrics != nil {
+				p.metrics.RecordFailure()
+			}
+			errOnce.Do(func() { first = err })
+		}
+	}
+	run := func(i int) {
+		start := time.Now()
+		defer func() {
+			if v := recover(); v != nil {
+				record(&TaskPanicError{Task: i, Value: v})
+			}
+			if p.metrics != nil {
+				p.metrics.RecordTask(time.Since(start))
+			}
+		}()
+		record(fn(i))
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Timed runs fn and returns its wall-clock duration alongside its error.
+func Timed(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}

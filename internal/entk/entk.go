@@ -1,0 +1,132 @@
+// Package entk is an Ensemble-Toolkit-like workflow layer over the
+// pilot engine — the higher-level abstraction the paper's Table 1 lists
+// for RADICAL-Pilot. Applications are expressed as pipelines of stages
+// of tasks with EnTK's execution semantics:
+//
+//   - pipelines run concurrently with each other;
+//   - stages within a pipeline run sequentially (a stage is a barrier);
+//   - tasks within a stage run concurrently as Compute-Units on the
+//     pilot.
+//
+// This is the "ensembles of tasks" pattern (§3.3) the paper cites as
+// RADICAL-Pilot's strength.
+package entk
+
+import (
+	"fmt"
+	"sync"
+
+	"mdtask/internal/pilot"
+)
+
+// Task is one unit of work within a stage.
+type Task struct {
+	Name        string
+	Fn          pilot.UnitFunc
+	InputFiles  map[string][]byte
+	OutputFiles []string
+
+	// Unit is the executed Compute-Unit, populated by AppManager.Run;
+	// use it to retrieve outputs.
+	Unit *pilot.Unit
+}
+
+// Stage is a barrier-delimited set of concurrent tasks.
+type Stage struct {
+	Name  string
+	Tasks []*Task
+}
+
+// Pipeline is a sequential chain of stages.
+type Pipeline struct {
+	Name   string
+	Stages []*Stage
+}
+
+// AddStage appends a stage and returns the pipeline for chaining.
+func (p *Pipeline) AddStage(s *Stage) *Pipeline {
+	p.Stages = append(p.Stages, s)
+	return p
+}
+
+// AddTask appends a task and returns the stage for chaining.
+func (s *Stage) AddTask(t *Task) *Stage {
+	s.Tasks = append(s.Tasks, t)
+	return s
+}
+
+// AppManager executes pipelines on a pilot, like EnTK's AppManager.
+type AppManager struct {
+	pilot *pilot.Pilot
+}
+
+// NewAppManager wraps a running pilot.
+func NewAppManager(p *pilot.Pilot) *AppManager {
+	return &AppManager{pilot: p}
+}
+
+// Run executes the pipelines to completion: pipelines concurrently,
+// stages sequentially within each pipeline, tasks concurrently within
+// each stage. It returns the first pipeline error (all pipelines run to
+// completion or failure regardless).
+func (am *AppManager) Run(pipelines ...*Pipeline) error {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	for _, pl := range pipelines {
+		wg.Add(1)
+		go func(pl *Pipeline) {
+			defer wg.Done()
+			record(am.runPipeline(pl))
+		}(pl)
+	}
+	wg.Wait()
+	return first
+}
+
+// runPipeline executes one pipeline's stages in order.
+func (am *AppManager) runPipeline(pl *Pipeline) error {
+	for si, stage := range pl.Stages {
+		if err := am.runStage(pl, si, stage); err != nil {
+			return fmt.Errorf("entk: pipeline %s stage %s: %w", pl.Name, stage.Name, err)
+		}
+	}
+	return nil
+}
+
+// runStage submits one stage's tasks as Compute-Units and waits for the
+// barrier.
+func (am *AppManager) runStage(pl *Pipeline, si int, stage *Stage) error {
+	if len(stage.Tasks) == 0 {
+		return nil
+	}
+	descs := make([]pilot.UnitDescription, len(stage.Tasks))
+	for i, task := range stage.Tasks {
+		descs[i] = pilot.UnitDescription{
+			Name:        fmt.Sprintf("%s/%d-%s/%s", pl.Name, si, stage.Name, task.Name),
+			Fn:          task.Fn,
+			InputFiles:  task.InputFiles,
+			OutputFiles: task.OutputFiles,
+		}
+	}
+	units, err := am.pilot.Submit(descs)
+	if err != nil {
+		return err
+	}
+	for i, u := range units {
+		stage.Tasks[i].Unit = u
+	}
+	return am.pilot.Wait(units)
+}

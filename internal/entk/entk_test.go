@@ -1,0 +1,209 @@
+package entk
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mdtask/internal/pilot"
+)
+
+func newTestPilot(t *testing.T, cores int) *pilot.Pilot {
+	t.Helper()
+	cfg := pilot.Config{
+		DBLatency:          50 * time.Microsecond,
+		AgentPollInterval:  500 * time.Microsecond,
+		ClientPollInterval: 500 * time.Microsecond,
+	}
+	p, err := pilot.NewPilot(cores, t.TempDir(), pilot.NewDB(cfg.DBLatency), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	return p
+}
+
+func TestStagesRunSequentially(t *testing.T) {
+	p := newTestPilot(t, 4)
+	am := NewAppManager(p)
+	var order int64
+	var stage1Max, stage2Min int64 = -1, 1 << 62
+	mkTask := func(stage int) *Task {
+		return &Task{Name: "t", Fn: func(string) error {
+			seq := atomic.AddInt64(&order, 1)
+			switch stage {
+			case 1:
+				for {
+					old := atomic.LoadInt64(&stage1Max)
+					if seq <= old || atomic.CompareAndSwapInt64(&stage1Max, old, seq) {
+						break
+					}
+				}
+			case 2:
+				for {
+					old := atomic.LoadInt64(&stage2Min)
+					if seq >= old || atomic.CompareAndSwapInt64(&stage2Min, old, seq) {
+						break
+					}
+				}
+			}
+			return nil
+		}}
+	}
+	pl := &Pipeline{Name: "p"}
+	s1 := &Stage{Name: "s1"}
+	s2 := &Stage{Name: "s2"}
+	for i := 0; i < 4; i++ {
+		s1.AddTask(mkTask(1))
+		s2.AddTask(mkTask(2))
+	}
+	pl.AddStage(s1).AddStage(s2)
+	if err := am.Run(pl); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&stage1Max) >= atomic.LoadInt64(&stage2Min) {
+		t.Errorf("stage barrier violated: stage1 max seq %d, stage2 min seq %d",
+			stage1Max, stage2Min)
+	}
+}
+
+func TestPipelinesRunConcurrently(t *testing.T) {
+	p := newTestPilot(t, 8)
+	am := NewAppManager(p)
+	var running, peak int64
+	mkPipeline := func(name string) *Pipeline {
+		return &Pipeline{Name: name, Stages: []*Stage{{Name: "s", Tasks: []*Task{{
+			Name: "t",
+			Fn: func(string) error {
+				c := atomic.AddInt64(&running, 1)
+				for {
+					old := atomic.LoadInt64(&peak)
+					if c <= old || atomic.CompareAndSwapInt64(&peak, old, c) {
+						break
+					}
+				}
+				time.Sleep(10 * time.Millisecond)
+				atomic.AddInt64(&running, -1)
+				return nil
+			},
+		}}}}}
+	}
+	if err := am.Run(mkPipeline("a"), mkPipeline("b"), mkPipeline("c")); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&peak) < 2 {
+		t.Errorf("pipelines did not overlap: peak = %d", peak)
+	}
+}
+
+func TestDataFlowsBetweenStagesViaFiles(t *testing.T) {
+	p := newTestPilot(t, 2)
+	am := NewAppManager(p)
+	produce := &Task{
+		Name:        "produce",
+		OutputFiles: []string{"data.txt"},
+		Fn: func(sandbox string) error {
+			return os.WriteFile(filepath.Join(sandbox, "data.txt"), []byte("hello"), 0o644)
+		},
+	}
+	pl := &Pipeline{Name: "flow"}
+	pl.AddStage((&Stage{Name: "produce"}).AddTask(produce))
+
+	// The consume stage is built after produce completes; EnTK-style
+	// applications wire this through the pilot's shared staging area.
+	if err := am.Run(pl); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := produce.Unit.Output("data.txt")
+	if !ok {
+		t.Fatal("produce output missing")
+	}
+	var got atomic.Value
+	consume := &Task{
+		Name:       "consume",
+		InputFiles: map[string][]byte{"in.txt": data},
+		Fn: func(sandbox string) error {
+			b, err := os.ReadFile(filepath.Join(sandbox, "in.txt"))
+			if err != nil {
+				return err
+			}
+			got.Store(strings.ToUpper(string(b)))
+			return nil
+		},
+	}
+	pl2 := &Pipeline{Name: "flow2"}
+	pl2.AddStage((&Stage{Name: "consume"}).AddTask(consume))
+	if err := am.Run(pl2); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "HELLO" {
+		t.Fatalf("consumed %q", got.Load())
+	}
+}
+
+func TestStageFailureStopsPipeline(t *testing.T) {
+	p := newTestPilot(t, 2)
+	am := NewAppManager(p)
+	var stage2Ran atomic.Bool
+	pl := &Pipeline{Name: "failing"}
+	pl.AddStage((&Stage{Name: "s1"}).AddTask(&Task{
+		Name: "bad",
+		Fn:   func(string) error { return errors.New("stage 1 failed") },
+	}))
+	pl.AddStage((&Stage{Name: "s2"}).AddTask(&Task{
+		Name: "never",
+		Fn:   func(string) error { stage2Ran.Store(true); return nil },
+	}))
+	err := am.Run(pl)
+	if err == nil || !strings.Contains(err.Error(), "stage 1 failed") {
+		t.Fatalf("err = %v", err)
+	}
+	if stage2Ran.Load() {
+		t.Error("stage 2 ran after stage 1 failure")
+	}
+}
+
+func TestEmptyStageAndPipeline(t *testing.T) {
+	p := newTestPilot(t, 2)
+	am := NewAppManager(p)
+	pl := &Pipeline{Name: "empty"}
+	pl.AddStage(&Stage{Name: "nothing"})
+	if err := am.Run(pl); err != nil {
+		t.Fatal(err)
+	}
+	if err := am.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyPipelinesManyStages(t *testing.T) {
+	p := newTestPilot(t, 8)
+	am := NewAppManager(p)
+	var count int64
+	var pipelines []*Pipeline
+	for pi := 0; pi < 5; pi++ {
+		pl := &Pipeline{Name: fmt.Sprintf("p%d", pi)}
+		for si := 0; si < 3; si++ {
+			st := &Stage{Name: fmt.Sprintf("s%d", si)}
+			for ti := 0; ti < 4; ti++ {
+				st.AddTask(&Task{Name: fmt.Sprintf("t%d", ti), Fn: func(string) error {
+					atomic.AddInt64(&count, 1)
+					return nil
+				}})
+			}
+			pl.AddStage(st)
+		}
+		pipelines = append(pipelines, pl)
+	}
+	if err := am.Run(pipelines...); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5*3*4 {
+		t.Errorf("ran %d tasks, want 60", count)
+	}
+}

@@ -1,0 +1,166 @@
+// Package hausdorff implements the Hausdorff distance between MD
+// trajectories (the paper's Algorithm 1) with the dRMS frame metric,
+// plus the early-break optimization of Taha & Hanbury that the paper
+// cites as the known sequential speedup, and the 2D-RMSD matrix variant
+// computed by CPPTraj (Algorithm 1 with no min–max reduction).
+package hausdorff
+
+import (
+	"math"
+
+	"mdtask/internal/linalg"
+	"mdtask/internal/traj"
+)
+
+// Method selects the Hausdorff inner-loop algorithm.
+type Method int
+
+const (
+	// Naive computes every frame-pair distance (the paper's Algorithm 1).
+	Naive Method = iota
+	// EarlyBreak aborts the inner scan as soon as a frame distance drops
+	// below the running maximum (Taha & Hanbury 2015).
+	EarlyBreak
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case Naive:
+		return "naive"
+	case EarlyBreak:
+		return "early-break"
+	default:
+		return "unknown"
+	}
+}
+
+// DirectedNaive computes the directed Hausdorff distance
+// h(A→B) = max over a in A of min over b in B of dRMS(a, b),
+// evaluating every pair. It returns 0 when A is empty and +Inf when A is
+// non-empty but B is empty.
+func DirectedNaive(a, b [][]linalg.Vec3) float64 {
+	var cmax float64
+	for _, fa := range a {
+		cmin := math.Inf(1)
+		for _, fb := range b {
+			if d := linalg.DRMS(fa, fb); d < cmin {
+				cmin = d
+			}
+		}
+		if cmin > cmax {
+			cmax = cmin
+		}
+	}
+	return cmax
+}
+
+// DirectedEarlyBreak computes the same directed distance as
+// DirectedNaive but breaks out of the inner scan once a distance below
+// the running maximum proves the current frame cannot raise it.
+func DirectedEarlyBreak(a, b [][]linalg.Vec3) float64 {
+	var cmax float64
+	for _, fa := range a {
+		cmin := math.Inf(1)
+		for _, fb := range b {
+			d := linalg.DRMS(fa, fb)
+			if d < cmax {
+				cmin = d
+				break
+			}
+			if d < cmin {
+				cmin = d
+			}
+		}
+		if cmin > cmax {
+			cmax = cmin
+		}
+	}
+	return cmax
+}
+
+// Frames extracts the coordinate view of a trajectory for the distance
+// kernels (no copying).
+func Frames(t *traj.Trajectory) [][]linalg.Vec3 {
+	out := make([][]linalg.Vec3, len(t.Frames))
+	for i := range t.Frames {
+		out[i] = t.Frames[i].Coords
+	}
+	return out
+}
+
+// Distance computes the symmetric Hausdorff distance
+// H(A,B) = max(h(A→B), h(B→A)) between two trajectories with the chosen
+// method. Both trajectories must have the same atom count.
+func Distance(a, b *traj.Trajectory, m Method) float64 {
+	fa, fb := Frames(a), Frames(b)
+	return DistanceFrames(fa, fb, m)
+}
+
+// DistanceFrames is Distance on raw frame views.
+func DistanceFrames(fa, fb [][]linalg.Vec3, m Method) float64 {
+	var h1, h2 float64
+	switch m {
+	case EarlyBreak:
+		h1 = DirectedEarlyBreak(fa, fb)
+		h2 = DirectedEarlyBreak(fb, fa)
+	default:
+		h1 = DirectedNaive(fa, fb)
+		h2 = DirectedNaive(fb, fa)
+	}
+	return math.Max(h1, h2)
+}
+
+// Matrix2DRMS computes the full frame-by-frame dRMS matrix between two
+// trajectories: element i*len(b)+j is dRMS(a_i, b_j). This is the
+// CPPTraj "2D-RMSD" kernel of §4.2: Algorithm 1 with no min–max
+// reduction, from which the Hausdorff distance is recovered by
+// FromMatrix.
+func Matrix2DRMS(a, b [][]linalg.Vec3) []float64 {
+	out := make([]float64, len(a)*len(b))
+	for i, fa := range a {
+		row := out[i*len(b) : (i+1)*len(b)]
+		for j, fb := range b {
+			row[j] = linalg.DRMS(fa, fb)
+		}
+	}
+	return out
+}
+
+// FromMatrix recovers the symmetric Hausdorff distance from a
+// precomputed na×nb frame distance matrix (row-major). It returns 0 for
+// empty matrices.
+func FromMatrix(m []float64, na, nb int) float64 {
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	if len(m) != na*nb {
+		panic("hausdorff: FromMatrix dimensions do not match matrix length")
+	}
+	var h1 float64 // max over rows of min over cols
+	for i := 0; i < na; i++ {
+		row := m[i*nb : (i+1)*nb]
+		cmin := row[0]
+		for _, d := range row[1:] {
+			if d < cmin {
+				cmin = d
+			}
+		}
+		if cmin > h1 {
+			h1 = cmin
+		}
+	}
+	var h2 float64 // max over cols of min over rows
+	for j := 0; j < nb; j++ {
+		cmin := m[j]
+		for i := 1; i < na; i++ {
+			if d := m[i*nb+j]; d < cmin {
+				cmin = d
+			}
+		}
+		if cmin > h2 {
+			h2 = cmin
+		}
+	}
+	return math.Max(h1, h2)
+}

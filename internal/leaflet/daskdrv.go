@@ -1,0 +1,128 @@
+package leaflet
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mdtask/internal/dask"
+	"mdtask/internal/graph"
+	"mdtask/internal/linalg"
+)
+
+// RunDask executes the Leaflet Finder on the Dask-like engine with the
+// selected architectural approach.
+//
+// Approach 1 inherits the paper's Dask limitation: scatter materializes
+// the dataset as a per-element list, so systems above
+// DaskScatterAtomLimit fail with ErrDaskScatter (§4.3.1, where the
+// 524k-atom broadcast failed). Approaches 3 and 4 declare each task's
+// cdist working set, so a client MemoryLimit triggers Dask's
+// worker-restart behaviour on oversized blocks (§4.3.3).
+func RunDask(client *dask.Client, approach Approach, coords []linalg.Vec3, cutoff float64, nTasks int) (*Result, error) {
+	n := len(coords)
+	switch approach {
+	case Broadcast1D:
+		if n > DaskScatterAtomLimit {
+			return nil, ErrDaskScatter
+		}
+		scattered := client.Scatter("system", coords, CoordBytes(n))
+		chunks := chunks1D(n, nTasks)
+		nodes := make([]*dask.Delayed, len(chunks))
+		for i, s := range chunks {
+			s := s
+			nodes[i] = client.Delayed(fmt.Sprintf("edges-%d", i),
+				func(args []interface{}) (interface{}, error) {
+					return rowChunkEdges(args[0].([]linalg.Vec3), s, cutoff), nil
+				}, scattered)
+		}
+		vals, err := client.Compute(nodes...)
+		if err != nil {
+			return nil, err
+		}
+		var edges []graph.Edge
+		for _, v := range vals {
+			edges = append(edges, v.([]graph.Edge)...)
+		}
+		client.Metrics.AddShuffle(graph.EdgeBytes(len(edges)))
+		return finish(graph.ComponentsUnionFind(n, edges), Stats{
+			Tasks:          len(chunks),
+			Edges:          int64(len(edges)),
+			BroadcastBytes: CoordBytes(n),
+			ShuffleBytes:   graph.EdgeBytes(len(edges)),
+		}), nil
+
+	case TaskAPI2D:
+		blocks := blocks2D(n, nTasks)
+		nodes := make([]*dask.Delayed, len(blocks))
+		for i, b := range blocks {
+			b := b
+			nodes[i] = client.DelayedMem(fmt.Sprintf("edges-%d", i), blockMemBytes(b),
+				func([]interface{}) (interface{}, error) {
+					return blockEdgesBrute(coords, b, cutoff), nil
+				})
+		}
+		vals, err := client.Compute(nodes...)
+		if err != nil {
+			return nil, err
+		}
+		var edges []graph.Edge
+		for _, v := range vals {
+			edges = append(edges, v.([]graph.Edge)...)
+		}
+		client.Metrics.AddShuffle(graph.EdgeBytes(len(edges)))
+		return finish(graph.ComponentsUnionFind(n, edges), Stats{
+			Tasks:        len(blocks),
+			Edges:        int64(len(edges)),
+			ShuffleBytes: graph.EdgeBytes(len(edges)),
+		}), nil
+
+	case ParallelCC, TreeSearch:
+		blocks := blocks2D(n, nTasks)
+		useTree := approach == TreeSearch
+		var edgeCount, shuffleBytes int64
+		parts := make([]*dask.Delayed, len(blocks))
+		for i, b := range blocks {
+			b := b
+			mem := int64(0)
+			if !useTree {
+				mem = blockMemBytes(b) // the tree kernel avoids the cdist matrix
+			}
+			parts[i] = client.DelayedMem(fmt.Sprintf("partial-%d", i), mem,
+				func([]interface{}) (interface{}, error) {
+					edges := blockEdges(coords, b, cutoff, useTree)
+					comps := graph.PartialComponents(edges)
+					atomic.AddInt64(&edgeCount, int64(len(edges)))
+					atomic.AddInt64(&shuffleBytes, graph.ComponentBytes(comps))
+					return []partialOut{{Comps: comps, Edges: int64(len(edges))}}, nil
+				})
+		}
+		bag := dask.BagFromDelayed[partialOut](client, parts)
+		merged := dask.BagFold(bag, partialOut{},
+			func(a partialOut, v partialOut) partialOut {
+				return partialOut{Comps: mergePartialSets(a.Comps, v.Comps), Edges: a.Edges + v.Edges}
+			},
+			func(a, b partialOut) partialOut {
+				return partialOut{Comps: mergePartialSets(a.Comps, b.Comps), Edges: a.Edges + b.Edges}
+			})
+		vals, err := client.Compute(merged)
+		if err != nil {
+			return nil, err
+		}
+		out := vals[0].(partialOut)
+		client.Metrics.AddShuffle(shuffleBytes)
+		return finish(labelsFromComponents(n, out.Comps), Stats{
+			Tasks:        len(blocks),
+			Edges:        edgeCount,
+			ShuffleBytes: shuffleBytes,
+		}), nil
+
+	default:
+		return nil, fmt.Errorf("leaflet: unknown approach %v", approach)
+	}
+}
+
+// blockMemBytes is the cdist working set of one block: rows × cols
+// float64 distances (the memory wall of §4.3.2/4.3.3).
+func blockMemBytes(b block) int64 {
+	return int64(b.rows.len()) * int64(b.cols.len()) * 8
+}

@@ -1,0 +1,104 @@
+package leaflet
+
+import (
+	"fmt"
+
+	"mdtask/internal/graph"
+	"mdtask/internal/linalg"
+	"mdtask/internal/mpi"
+)
+
+// RunMPI executes the Leaflet Finder as an SPMD MPI program with the
+// selected architectural approach: rank 0 holds the system, broadcasts
+// or partitions it, every rank computes its share of the edge discovery
+// (the paper's "realized as a loop for MPI"), and results are gathered
+// to rank 0 where the final components are computed. nTasks bounds the
+// 2-D tiling granularity; the tiles are cycled over the ranks.
+func RunMPI(ranks int, approach Approach, coords []linalg.Vec3, cutoff float64, nTasks int) (*Result, error) {
+	n := len(coords)
+	var result *Result
+	err := mpi.Run(ranks, nil, func(c *mpi.Comm) error {
+		switch approach {
+		case Broadcast1D:
+			// MPI_Bcast the system; each rank computes one row chunk.
+			var system []linalg.Vec3
+			if c.Rank() == 0 {
+				system = coords
+			}
+			system = mpi.Bcast(c, 0, system, CoordBytes(n))
+			chunks := chunks1D(n, c.Size())
+			var local []graph.Edge
+			if c.Rank() < len(chunks) {
+				local = rowChunkEdges(system, chunks[c.Rank()], cutoff)
+			}
+			gathered := mpi.Gather(c, 0, local, graph.EdgeBytes(len(local)))
+			if c.Rank() == 0 {
+				var edges []graph.Edge
+				for _, g := range gathered {
+					edges = append(edges, g...)
+				}
+				result = finish(graph.ComponentsUnionFind(n, edges), Stats{
+					Tasks:          len(chunks),
+					Edges:          int64(len(edges)),
+					BroadcastBytes: CoordBytes(n),
+					ShuffleBytes:   graph.EdgeBytes(len(edges)),
+				})
+			}
+			return nil
+
+		case TaskAPI2D:
+			blocks := blocks2D(n, nTasks)
+			var local []graph.Edge
+			for i := c.Rank(); i < len(blocks); i += c.Size() {
+				local = append(local, blockEdgesBrute(coords, blocks[i], cutoff)...)
+			}
+			gathered := mpi.Gather(c, 0, local, graph.EdgeBytes(len(local)))
+			if c.Rank() == 0 {
+				var edges []graph.Edge
+				for _, g := range gathered {
+					edges = append(edges, g...)
+				}
+				result = finish(graph.ComponentsUnionFind(n, edges), Stats{
+					Tasks:        len(blocks),
+					Edges:        int64(len(edges)),
+					ShuffleBytes: graph.EdgeBytes(len(edges)),
+				})
+			}
+			return nil
+
+		case ParallelCC, TreeSearch:
+			useTree := approach == TreeSearch
+			blocks := blocks2D(n, nTasks)
+			local := partialOut{}
+			for i := c.Rank(); i < len(blocks); i += c.Size() {
+				edges := blockEdges(coords, blocks[i], cutoff, useTree)
+				comps := graph.PartialComponents(edges)
+				local.Comps = mergePartialSets(local.Comps, comps)
+				local.Edges += int64(len(edges))
+			}
+			localBytes := graph.ComponentBytes(local.Comps)
+			shuffleBytes := mpi.Allreduce(c, localBytes, 8, func(a, b int64) int64 { return a + b })
+			merged, isRoot := mpi.Reduce(c, 0, local, localBytes, func(a, b partialOut) partialOut {
+				return partialOut{Comps: mergePartialSets(a.Comps, b.Comps), Edges: a.Edges + b.Edges}
+			})
+			if isRoot {
+				result = finish(labelsFromComponents(n, merged.Comps), Stats{
+					Tasks:        len(blocks),
+					Edges:        merged.Edges,
+					ShuffleBytes: shuffleBytes,
+				})
+			}
+			return nil
+
+		default:
+			return fmt.Errorf("leaflet: unknown approach %v", approach)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if result == nil {
+		return nil, fmt.Errorf("leaflet: MPI run produced no result")
+	}
+	return result, nil
+}

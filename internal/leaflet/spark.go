@@ -1,0 +1,86 @@
+package leaflet
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mdtask/internal/graph"
+	"mdtask/internal/linalg"
+	"mdtask/internal/rdd"
+)
+
+// RunRDD executes the Leaflet Finder on the Spark-like engine with the
+// selected architectural approach. nTasks bounds the number of map
+// tasks (the paper uses 1024 partitions).
+func RunRDD(ctx *rdd.Context, approach Approach, coords []linalg.Vec3, cutoff float64, nTasks int) (*Result, error) {
+	n := len(coords)
+	switch approach {
+	case Broadcast1D:
+		// Broadcast the whole system; 1-D partition the rows; map to edge
+		// lists; collect and compute components on the master.
+		bc := rdd.NewBroadcast(ctx, coords, CoordBytes(n))
+		chunks := chunks1D(n, nTasks)
+		r := rdd.Parallelize(ctx, chunks, len(chunks))
+		edges, err := rdd.FlatMap(r, func(s span) ([]graph.Edge, error) {
+			return rowChunkEdges(bc.Value, s, cutoff), nil
+		}).Collect()
+		if err != nil {
+			return nil, err
+		}
+		ctx.Metrics.AddShuffle(graph.EdgeBytes(len(edges)))
+		return finish(graph.ComponentsUnionFind(n, edges), Stats{
+			Tasks:          len(chunks),
+			Edges:          int64(len(edges)),
+			BroadcastBytes: CoordBytes(n),
+			ShuffleBytes:   graph.EdgeBytes(len(edges)),
+		}), nil
+
+	case TaskAPI2D:
+		// 2-D pre-partitioned blocks; map to edge lists; collect; master
+		// computes components.
+		blocks := blocks2D(n, nTasks)
+		r := rdd.Parallelize(ctx, blocks, len(blocks))
+		edges, err := rdd.FlatMap(r, func(b block) ([]graph.Edge, error) {
+			return blockEdgesBrute(coords, b, cutoff), nil
+		}).Collect()
+		if err != nil {
+			return nil, err
+		}
+		ctx.Metrics.AddShuffle(graph.EdgeBytes(len(edges)))
+		return finish(graph.ComponentsUnionFind(n, edges), Stats{
+			Tasks:        len(blocks),
+			Edges:        int64(len(edges)),
+			ShuffleBytes: graph.EdgeBytes(len(edges)),
+		}), nil
+
+	case ParallelCC, TreeSearch:
+		// Map: edges + partial components per block. Reduce: merge
+		// component sets sharing nodes. Only components cross the shuffle.
+		blocks := blocks2D(n, nTasks)
+		useTree := approach == TreeSearch
+		var edgeCount, shuffleBytes int64
+		r := rdd.Parallelize(ctx, blocks, len(blocks))
+		partials := rdd.Map(r, func(b block) (partialOut, error) {
+			edges := blockEdges(coords, b, cutoff, useTree)
+			comps := graph.PartialComponents(edges)
+			atomic.AddInt64(&edgeCount, int64(len(edges)))
+			atomic.AddInt64(&shuffleBytes, graph.ComponentBytes(comps))
+			return partialOut{Comps: comps, Edges: int64(len(edges))}, nil
+		})
+		merged, err := rdd.Reduce(partials, func(a, b partialOut) partialOut {
+			return partialOut{Comps: mergePartialSets(a.Comps, b.Comps), Edges: a.Edges + b.Edges}
+		})
+		if err != nil {
+			return nil, err
+		}
+		ctx.Metrics.AddShuffle(shuffleBytes)
+		return finish(labelsFromComponents(n, merged.Comps), Stats{
+			Tasks:        len(blocks),
+			Edges:        edgeCount,
+			ShuffleBytes: shuffleBytes,
+		}), nil
+
+	default:
+		return nil, fmt.Errorf("leaflet: unknown approach %v", approach)
+	}
+}

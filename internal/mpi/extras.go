@@ -1,0 +1,139 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives and communicator operations beyond the core
+// set, matching the MPI-1 surface the paper's MPI4py implementations
+// draw on.
+
+// Allgather collects every rank's value on every rank, indexed by rank
+// (gather to 0 + broadcast of the assembled slice).
+func Allgather[T any](c *Comm, value T, bytes int64) []T {
+	all := Gather(c, 0, value, bytes)
+	return Bcast(c, 0, all, bytes*int64(c.Size()))
+}
+
+// Scan computes the inclusive prefix reduction: rank r returns
+// op(v0, v1, ..., vr). Implemented as a linear pipeline, the classic
+// MPI_Scan topology.
+func Scan[T any](c *Comm, value T, bytes int64, op func(T, T) T) T {
+	acc := value
+	if c.rank > 0 {
+		prev := c.recv(c.w.coll, c.rank-1).value.(T)
+		acc = op(prev, value)
+	}
+	if c.rank < c.w.size-1 {
+		c.send(c.w.coll, c.rank+1, message{acc, bytes})
+	}
+	return acc
+}
+
+// Exscan computes the exclusive prefix reduction: rank 0 returns the
+// zero value and ok=false; rank r>0 returns op(v0, ..., v(r-1)).
+func Exscan[T any](c *Comm, value T, bytes int64, op func(T, T) T) (T, bool) {
+	var prev T
+	have := false
+	if c.rank > 0 {
+		prev = c.recv(c.w.coll, c.rank-1).value.(T)
+		have = true
+	}
+	if c.rank < c.w.size-1 {
+		next := value
+		if have {
+			next = op(prev, value)
+		}
+		c.send(c.w.coll, c.rank+1, message{next, bytes})
+	}
+	return prev, have
+}
+
+// ReduceScatter reduces per-destination values with op and delivers to
+// each rank its own slot: rank r receives op over all ranks' parts[r].
+// parts must have length Size on every rank.
+func ReduceScatter[T any](c *Comm, parts []T, bytesPer int64, op func(T, T) T) T {
+	if len(parts) != c.w.size {
+		panic(fmt.Sprintf("mpi: ReduceScatter needs %d parts, got %d", c.w.size, len(parts)))
+	}
+	received := Alltoall(c, parts, bytesPer)
+	acc := received[0]
+	for _, v := range received[1:] {
+		acc = op(acc, v)
+	}
+	return acc
+}
+
+// Sendrecv performs a simultaneous send to dst and receive from src,
+// deadlock-free regardless of pairing (buffered fabric plus ordered
+// ranks).
+func (c *Comm) Sendrecv(dst int, value interface{}, bytes int64, src int) interface{} {
+	if c.rank%2 == 0 {
+		c.Send(dst, value, bytes)
+		return c.Recv(src)
+	}
+	got := c.Recv(src)
+	c.Send(dst, value, bytes)
+	return got
+}
+
+// Group is a subset of ranks created by Split, with its own collective
+// context built from point-to-point primitives of the parent world.
+type Group struct {
+	parent  *Comm
+	members []int // world ranks, sorted; members[groupRank] = worldRank
+	rank    int   // this rank's index within members
+}
+
+// Split partitions the communicator by color (ranks passing the same
+// color join the same group), like MPI_Comm_split with key = world
+// rank. Every rank must call Split.
+func (c *Comm) Split(color int) *Group {
+	colors := Allgather(c, color, 8)
+	var members []int
+	rank := -1
+	for worldRank, col := range colors {
+		if col == color {
+			if worldRank == c.rank {
+				rank = len(members)
+			}
+			members = append(members, worldRank)
+		}
+	}
+	return &Group{parent: c, members: members, rank: rank}
+}
+
+// Rank returns this rank's index within the group.
+func (g *Group) Rank() int { return g.rank }
+
+// Size returns the group's member count.
+func (g *Group) Size() int { return len(g.members) }
+
+// WorldRank maps a group rank to the world rank.
+func (g *Group) WorldRank(groupRank int) int { return g.members[groupRank] }
+
+// GroupGather collects every group member's value at group rank 0
+// (returns nil elsewhere), using world point-to-point messages.
+func GroupGather[T any](g *Group, value T, bytes int64) []T {
+	root := g.members[0]
+	if g.rank != 0 {
+		g.parent.Send(root, value, bytes)
+		return nil
+	}
+	out := make([]T, len(g.members))
+	out[0] = value
+	for i := 1; i < len(g.members); i++ {
+		out[i] = g.parent.Recv(g.members[i]).(T)
+	}
+	return out
+}
+
+// GroupBcast distributes group rank 0's value to all group members.
+func GroupBcast[T any](g *Group, value T, bytes int64) T {
+	root := g.members[0]
+	if g.rank == 0 {
+		for _, m := range g.members[1:] {
+			g.parent.Send(m, value, bytes)
+		}
+		return value
+	}
+	return g.parent.Recv(root).(T)
+}

@@ -1,0 +1,139 @@
+package mpi
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAllgather(t *testing.T) {
+	const size = 5
+	err := Run(size, nil, func(c *Comm) error {
+		all := Allgather(c, c.Rank()*10, 8)
+		want := []int{0, 10, 20, 30, 40}
+		if !reflect.DeepEqual(all, want) {
+			t.Errorf("rank %d: Allgather = %v", c.Rank(), all)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	const size = 6
+	err := Run(size, nil, func(c *Comm) error {
+		got := Scan(c, c.Rank()+1, 8, func(a, b int) int { return a + b })
+		want := (c.Rank() + 1) * (c.Rank() + 2) / 2
+		if got != want {
+			t.Errorf("rank %d: Scan = %d, want %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExscan(t *testing.T) {
+	const size = 5
+	err := Run(size, nil, func(c *Comm) error {
+		got, ok := Exscan(c, c.Rank()+1, 8, func(a, b int) int { return a + b })
+		if c.Rank() == 0 {
+			if ok {
+				t.Error("rank 0 claims a prefix")
+			}
+			return nil
+		}
+		want := c.Rank() * (c.Rank() + 1) / 2
+		if !ok || got != want {
+			t.Errorf("rank %d: Exscan = %d (%v), want %d", c.Rank(), got, ok, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	const size = 4
+	err := Run(size, nil, func(c *Comm) error {
+		parts := make([]int, size)
+		for i := range parts {
+			parts[i] = c.Rank() + i // rank r contributes r+dst to slot dst
+		}
+		got := ReduceScatter(c, parts, 8, func(a, b int) int { return a + b })
+		// Slot r sums (s + r) over all source ranks s: 0+1+2+3 + 4r.
+		want := 6 + 4*c.Rank()
+		if got != want {
+			t.Errorf("rank %d: ReduceScatter = %d, want %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	const size = 5
+	err := Run(size, nil, func(c *Comm) error {
+		dst := (c.Rank() + 1) % size
+		src := (c.Rank() - 1 + size) % size
+		got := c.Sendrecv(dst, c.Rank(), 8, src).(int)
+		if got != src {
+			t.Errorf("rank %d received %d, want %d", c.Rank(), got, src)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitGroups(t *testing.T) {
+	const size = 6
+	err := Run(size, nil, func(c *Comm) error {
+		g := c.Split(c.Rank() % 2) // evens and odds
+		if g.Size() != 3 {
+			t.Errorf("rank %d: group size %d", c.Rank(), g.Size())
+		}
+		if g.WorldRank(g.Rank()) != c.Rank() {
+			t.Errorf("rank %d: WorldRank mapping broken", c.Rank())
+		}
+		// Group gather at each group's leader.
+		vals := GroupGather(g, c.Rank(), 8)
+		if g.Rank() == 0 {
+			want := []int{0, 2, 4}
+			if c.Rank()%2 == 1 {
+				want = []int{1, 3, 5}
+			}
+			if !reflect.DeepEqual(vals, want) {
+				t.Errorf("group leader %d gathered %v", c.Rank(), vals)
+			}
+		} else if vals != nil {
+			t.Errorf("non-leader got %v", vals)
+		}
+		// Group broadcast from each leader.
+		leaderVal := GroupBcast(g, c.Rank()*100, 8)
+		wantLeader := g.WorldRank(0) * 100
+		if leaderVal != wantLeader {
+			t.Errorf("rank %d: GroupBcast = %d, want %d", c.Rank(), leaderVal, wantLeader)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterWrongLength(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		ReduceScatter(c, []int{1}, 8, func(a, b int) int { return a + b })
+		return nil
+	})
+	if err == nil {
+		t.Fatal("wrong-length parts accepted")
+	}
+}

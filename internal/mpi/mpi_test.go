@@ -1,0 +1,334 @@
+package mpi
+
+import (
+	"errors"
+	mathrand "math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mdtask/internal/engine"
+)
+
+func TestRunBasics(t *testing.T) {
+	var count int64
+	err := Run(8, nil, func(c *Comm) error {
+		if c.Size() != 8 {
+			t.Errorf("Size = %d", c.Size())
+		}
+		atomic.AddInt64(&count, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Errorf("ranks ran = %d", count)
+	}
+}
+
+func TestRunRejectsBadSize(t *testing.T) {
+	if err := Run(0, nil, func(*Comm) error { return nil }); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, "ping", 4)
+			if got := c.Recv(1).(string); got != "pong" {
+				t.Errorf("rank 0 got %q", got)
+			}
+		} else {
+			if got := c.Recv(0).(string); got != "ping" {
+				t.Errorf("rank 1 got %q", got)
+			}
+			c.Send(0, "pong", 4)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvOrderingFIFO(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				c.Send(1, i, 8)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				if got := c.Recv(0).(int); got != i {
+					t.Errorf("message %d arrived as %d", i, got)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastAllRootsAndSizes(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Values: func(args []reflect.Value, r *mathrand.Rand) {
+			size := 1 + r.Intn(12)
+			args[0] = reflect.ValueOf(size)
+			args[1] = reflect.ValueOf(r.Intn(size))
+			args[2] = reflect.ValueOf(r.Int())
+		},
+	}
+	f := func(size, root, payload int) bool {
+		ok := true
+		err := Run(size, nil, func(c *Comm) error {
+			v := -1
+			if c.Rank() == root {
+				v = payload
+			}
+			got := Bcast(c, root, v, 8)
+			if got != payload {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScatterGather(t *testing.T) {
+	const size = 6
+	err := Run(size, nil, func(c *Comm) error {
+		var parts []int
+		if c.Rank() == 2 {
+			parts = []int{10, 11, 12, 13, 14, 15}
+		}
+		mine := Scatter(c, 2, parts, 8)
+		if mine != 10+c.Rank() {
+			t.Errorf("rank %d scattered %d", c.Rank(), mine)
+		}
+		gathered := Gather(c, 2, mine*2, 8)
+		if c.Rank() == 2 {
+			want := []int{20, 22, 24, 26, 28, 30}
+			if !reflect.DeepEqual(gathered, want) {
+				t.Errorf("gathered = %v", gathered)
+			}
+		} else if gathered != nil {
+			t.Errorf("non-root rank %d got %v", c.Rank(), gathered)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	const size = 7
+	err := Run(size, nil, func(c *Comm) error {
+		sum, isRoot := Reduce(c, 0, c.Rank()+1, 8, func(a, b int) int { return a + b })
+		if c.Rank() == 0 {
+			if !isRoot || sum != size*(size+1)/2 {
+				t.Errorf("Reduce = %d, isRoot=%v", sum, isRoot)
+			}
+		} else if isRoot {
+			t.Errorf("rank %d claims root", c.Rank())
+		}
+		all := Allreduce(c, c.Rank(), 8, func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if all != size-1 {
+			t.Errorf("Allreduce max = %d", all)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const size = 5
+	err := Run(size, nil, func(c *Comm) error {
+		parts := make([]int, size)
+		for i := range parts {
+			parts[i] = c.Rank()*100 + i
+		}
+		got := Alltoall(c, parts, 8)
+		for src, v := range got {
+			if v != src*100+c.Rank() {
+				t.Errorf("rank %d from %d: %d", c.Rank(), src, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const size = 6
+	var phase1 int64
+	err := Run(size, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(5 * time.Millisecond) // straggler
+		}
+		atomic.AddInt64(&phase1, 1)
+		c.Barrier()
+		if got := atomic.LoadInt64(&phase1); got != size {
+			t.Errorf("rank %d passed barrier with phase1=%d", c.Rank(), got)
+		}
+		c.Barrier() // reusable
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankErrorAbortsWorld(t *testing.T) {
+	err := Run(4, nil, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return errors.New("rank 2 exploded")
+		}
+		// Other ranks block on a receive that will never be satisfied;
+		// the abort must unwind them instead of deadlocking.
+		c.Recv((c.Rank() + 1) % 4)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 2 exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRankPanicAbortsWorld(t *testing.T) {
+	err := Run(3, nil, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("rank 1 crashed")
+		}
+		c.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+}
+
+func TestInvalidRanksPanic(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(5, "x", 1)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScatterWrongLengthPanics(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			Scatter(c, 0, []int{1}, 8) // needs 2 parts
+		} else {
+			Scatter[int](c, 0, nil, 8)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("bad scatter accepted")
+	}
+}
+
+func TestBlockRangeCoverage(t *testing.T) {
+	for n := 0; n < 30; n++ {
+		for size := 1; size <= 7; size++ {
+			covered := make([]bool, n)
+			prevHi := 0
+			for r := 0; r < size; r++ {
+				lo, hi := BlockRange(n, r, size)
+				if lo != prevHi {
+					t.Fatalf("n=%d size=%d rank=%d: gap at %d", n, size, r, lo)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i] = true
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d size=%d: coverage ends at %d", n, size, prevHi)
+			}
+			for i, c := range covered {
+				if !c {
+					t.Fatalf("n=%d size=%d: item %d uncovered", n, size, i)
+				}
+			}
+		}
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	m := &engine.Metrics{}
+	// Gather bytes are recorded as shuffle; Bcast as broadcast.
+	err := Run(4, m, func(c *Comm) error {
+		Bcast(c, 0, 1, 1000)
+		Gather(c, 0, c.Rank(), 500)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.BytesBroadcast == 0 {
+		t.Error("broadcast bytes not accounted")
+	}
+	if s.BytesShuffled == 0 {
+		t.Error("gather bytes not accounted")
+	}
+}
+
+func TestAllGatherLargePayloads(t *testing.T) {
+	// Stress buffered fabric with larger worlds.
+	const size = 16
+	err := Run(size, nil, func(c *Comm) error {
+		data := make([]int, 100)
+		for i := range data {
+			data[i] = c.Rank()
+		}
+		gathered := Gather(c, 0, data, 800)
+		if c.Rank() == 0 {
+			var ranks []int
+			for src, d := range gathered {
+				if d[0] != src {
+					t.Errorf("payload from %d tagged %d", src, d[0])
+				}
+				ranks = append(ranks, d[0])
+			}
+			sort.Ints(ranks)
+			for i, r := range ranks {
+				if r != i {
+					t.Errorf("missing rank payloads: %v", ranks)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

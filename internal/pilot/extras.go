@@ -1,0 +1,119 @@
+package pilot
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Extensions beyond the paper's evaluated configuration, implementing
+// two items from its future-work list (§6): reducing data-transfer
+// sizes / optimizing filesystem usage (compressed staging) and dynamic
+// resource management (resizing the pilot's core pool at runtime).
+
+// CompressStaged gzip-compresses a staging payload; units can stage
+// compressed inputs to cut shared-filesystem traffic, the optimization
+// the paper lists as future work.
+func CompressStaged(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecompressStaged reverses CompressStaged.
+func DecompressStaged(data []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("pilot: decompressing staged payload: %w", err)
+	}
+	defer zr.Close()
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("pilot: decompressing staged payload: %w", err)
+	}
+	return out, nil
+}
+
+// semaphore is a resizable counting semaphore: capacity can grow or
+// shrink while holders are active (shrinking takes effect as holders
+// release).
+type semaphore struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	used int
+}
+
+func newSemaphore(capacity int) *semaphore {
+	s := &semaphore{cap: capacity}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// acquire blocks until a slot is free or stop is closed; it reports
+// whether a slot was obtained.
+func (s *semaphore) acquire(stop <-chan struct{}) bool {
+	// Wake waiters when stop closes.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-stop:
+			s.cond.Broadcast()
+		case <-done:
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.used >= s.cap {
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+		s.cond.Wait()
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+	}
+	s.used++
+	return true
+}
+
+func (s *semaphore) release() {
+	s.mu.Lock()
+	s.used--
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// setCapacity resizes the semaphore. Growing wakes waiters immediately;
+// shrinking lets in-flight holders finish.
+func (s *semaphore) setCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.cap = n
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *semaphore) capacity() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cap
+}

@@ -1,0 +1,182 @@
+package pilot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCompressedStagingRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte("coordinates "), 4096)
+	compressed, err := CompressStaged(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compressed) >= len(payload) {
+		t.Errorf("compression grew payload: %d -> %d", len(payload), len(compressed))
+	}
+	got, err := DecompressStaged(compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := DecompressStaged([]byte("not gzip")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCompressedStagingThroughUnits(t *testing.T) {
+	p := newTestPilot(t, 2)
+	payload := bytes.Repeat([]byte("xyzxyz "), 1000)
+	compressed, err := CompressStaged(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := p.Submit([]UnitDescription{{
+		Name:        "decompress",
+		InputFiles:  map[string][]byte{"in.gz": compressed},
+		OutputFiles: []string{"out.bin"},
+		Fn: func(sandbox string) error {
+			return unitDecompress(sandbox)
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(units); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := units[0].Output("out.bin")
+	if !ok || !bytes.Equal(out, payload) {
+		t.Fatal("compressed staging round trip failed")
+	}
+	// Staged bytes must reflect the compressed input, not the raw size.
+	staged := p.Metrics().Snapshot().BytesStaged
+	if staged >= int64(len(payload))*2 {
+		t.Errorf("staged %d bytes; compression not effective", staged)
+	}
+}
+
+func TestResizeGrowsConcurrency(t *testing.T) {
+	p := newTestPilot(t, 1)
+	var current, peak int64
+	mkUnits := func(n int) []UnitDescription {
+		descs := make([]UnitDescription, n)
+		for i := range descs {
+			descs[i] = UnitDescription{Name: "r", Fn: func(string) error {
+				c := atomic.AddInt64(&current, 1)
+				for {
+					old := atomic.LoadInt64(&peak)
+					if c <= old || atomic.CompareAndSwapInt64(&peak, old, c) {
+						break
+					}
+				}
+				time.Sleep(3 * time.Millisecond)
+				atomic.AddInt64(&current, -1)
+				return nil
+			}}
+		}
+		return descs
+	}
+	units, err := p.Submit(mkUnits(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(units); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&peak) > 1 {
+		t.Fatalf("peak %d with 1 core", peak)
+	}
+	// Grow the pilot and run again: concurrency must rise.
+	p.Resize(4)
+	if p.Cores() != 4 {
+		t.Fatalf("Cores = %d", p.Cores())
+	}
+	atomic.StoreInt64(&peak, 0)
+	units, err = p.Submit(mkUnits(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(units); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&peak) < 2 {
+		t.Errorf("peak %d after growing to 4 cores", peak)
+	}
+	if atomic.LoadInt64(&peak) > 4 {
+		t.Errorf("peak %d exceeds 4 cores", peak)
+	}
+}
+
+func TestSemaphoreShrink(t *testing.T) {
+	s := newSemaphore(3)
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		if !s.acquire(stop) {
+			t.Fatal("acquire failed")
+		}
+	}
+	s.setCapacity(1)
+	if s.capacity() != 1 {
+		t.Fatalf("capacity = %d", s.capacity())
+	}
+	// A new acquire must block until enough holders release.
+	acquired := make(chan struct{})
+	go func() {
+		if s.acquire(stop) {
+			close(acquired)
+		}
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("acquire succeeded over capacity")
+	case <-time.After(5 * time.Millisecond):
+	}
+	s.release()
+	s.release()
+	s.release() // used drops to 0 < cap 1
+	select {
+	case <-acquired:
+	case <-time.After(100 * time.Millisecond):
+		t.Fatal("acquire did not proceed after releases")
+	}
+}
+
+func TestSemaphoreStop(t *testing.T) {
+	s := newSemaphore(1)
+	stop := make(chan struct{})
+	if !s.acquire(stop) {
+		t.Fatal("first acquire failed")
+	}
+	result := make(chan bool)
+	go func() { result <- s.acquire(stop) }()
+	close(stop)
+	select {
+	case ok := <-result:
+		if ok {
+			t.Fatal("acquire succeeded after stop")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("acquire did not observe stop")
+	}
+}
+
+// unitDecompress is the unit body of the compressed-staging test: read
+// in.gz, decompress, write out.bin.
+func unitDecompress(sandbox string) error {
+	data, err := os.ReadFile(filepath.Join(sandbox, "in.gz"))
+	if err != nil {
+		return err
+	}
+	raw, err := DecompressStaged(data)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(sandbox, "out.bin"), raw, 0o644)
+}

@@ -1,0 +1,224 @@
+package psa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"mdtask/internal/dask"
+	"mdtask/internal/hausdorff"
+	"mdtask/internal/mpi"
+	"mdtask/internal/pilot"
+	"mdtask/internal/rdd"
+	"mdtask/internal/traj"
+)
+
+// RunRDD computes PSA on the Spark-like engine: an RDD with one
+// partition per block task and a map over partitions, as the paper's
+// PySpark implementation does (§4.2: "an RDD with one partition per
+// task; tasks executed in a map function").
+func RunRDD(ctx *rdd.Context, ens traj.Ensemble, n1 int, m hausdorff.Method) (*Matrix, error) {
+	blocks, err := Partition2D(len(ens), n1)
+	if err != nil {
+		return nil, err
+	}
+	r := rdd.Parallelize(ctx, blocks, len(blocks))
+	results, err := rdd.Map(r, func(b Block) (BlockResult, error) {
+		return ComputeBlock(ens, b, m), nil
+	}).Collect()
+	if err != nil {
+		return nil, err
+	}
+	return Assemble(len(ens), results), nil
+}
+
+// RunDask computes PSA on the Dask-like engine: one delayed function per
+// block task, computed by the distributed scheduler (§4.2: "tasks are
+// defined as delayed functions").
+func RunDask(client *dask.Client, ens traj.Ensemble, n1 int, m hausdorff.Method) (*Matrix, error) {
+	blocks, err := Partition2D(len(ens), n1)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*dask.Delayed, len(blocks))
+	for i, b := range blocks {
+		b := b
+		nodes[i] = client.Delayed(fmt.Sprintf("psa-block-%d", i),
+			func([]interface{}) (interface{}, error) {
+				return ComputeBlock(ens, b, m), nil
+			})
+	}
+	vals, err := client.Compute(nodes...)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]BlockResult, len(vals))
+	for i, v := range vals {
+		results[i] = v.(BlockResult)
+	}
+	return Assemble(len(ens), results), nil
+}
+
+// RunMPI computes PSA on the MPI runtime: block tasks are statically
+// partitioned over ranks (one task per process, cycling), results are
+// gathered at rank 0.
+func RunMPI(ranks int, ens traj.Ensemble, n1 int, m hausdorff.Method) (*Matrix, error) {
+	blocks, err := Partition2D(len(ens), n1)
+	if err != nil {
+		return nil, err
+	}
+	var out *Matrix
+	err = mpi.Run(ranks, nil, func(c *mpi.Comm) error {
+		var local []BlockResult
+		for i := c.Rank(); i < len(blocks); i += c.Size() {
+			local = append(local, ComputeBlock(ens, blocks[i], m))
+		}
+		var bytes int64
+		for _, r := range local {
+			bytes += int64(len(r.Values)) * 8
+		}
+		gathered := mpi.Gather(c, 0, local, bytes)
+		if c.Rank() == 0 {
+			var all []BlockResult
+			for _, g := range gathered {
+				all = append(all, g...)
+			}
+			out = Assemble(len(ens), all)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunPilot computes PSA on the pilot engine: one Compute-Unit per block
+// task. Faithful to RADICAL-Pilot's execution model, each unit reads its
+// input trajectories from staged MDT files in its sandbox and writes its
+// block of distances to an output file, which the client collects — all
+// data exchange goes through the filesystem (§3.3).
+func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, m hausdorff.Method) (*Matrix, error) {
+	blocks, err := Partition2D(len(ens), n1)
+	if err != nil {
+		return nil, err
+	}
+	// Serialize each trajectory once; units stage only what they read.
+	blobs := make([][]byte, len(ens))
+	for i, t := range ens {
+		b, err := encodeTraj(t)
+		if err != nil {
+			return nil, err
+		}
+		blobs[i] = b
+	}
+	descs := make([]pilot.UnitDescription, len(blocks))
+	for bi, b := range blocks {
+		b := b
+		inputs := make(map[string][]byte)
+		for i := b.I0; i < b.I1; i++ {
+			inputs[fmt.Sprintf("traj-%04d.mdt", i)] = blobs[i]
+		}
+		for j := b.J0; j < b.J1; j++ {
+			inputs[fmt.Sprintf("traj-%04d.mdt", j)] = blobs[j]
+		}
+		descs[bi] = pilot.UnitDescription{
+			Name:        fmt.Sprintf("psa-block-%d", bi),
+			InputFiles:  inputs,
+			OutputFiles: []string{"distances.bin"},
+			Fn: func(sandbox string) error {
+				load := func(ix int) (*traj.Trajectory, error) {
+					return traj.ReadMDTFile(filepath.Join(sandbox, fmt.Sprintf("traj-%04d.mdt", ix)))
+				}
+				vals := make([]float64, 0, b.Pairs())
+				for i := b.I0; i < b.I1; i++ {
+					ti, err := load(i)
+					if err != nil {
+						return err
+					}
+					for j := b.J0; j < b.J1; j++ {
+						tj, err := load(j)
+						if err != nil {
+							return err
+						}
+						vals = append(vals, hausdorff.Distance(ti, tj, m))
+					}
+				}
+				return os.WriteFile(filepath.Join(sandbox, "distances.bin"), encodeFloats(vals), 0o644)
+			},
+		}
+	}
+	units, err := p.Submit(descs)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Wait(units); err != nil {
+		return nil, err
+	}
+	results := make([]BlockResult, len(units))
+	for i, u := range units {
+		raw, ok := u.Output("distances.bin")
+		if !ok {
+			return nil, fmt.Errorf("psa: unit %d produced no output", u.ID)
+		}
+		vals, err := decodeFloats(raw)
+		if err != nil {
+			return nil, fmt.Errorf("psa: unit %d: %w", u.ID, err)
+		}
+		if len(vals) != blocks[i].Pairs() {
+			return nil, fmt.Errorf("psa: unit %d returned %d values, want %d", u.ID, len(vals), blocks[i].Pairs())
+		}
+		results[i] = BlockResult{Block: blocks[i], Values: vals}
+	}
+	return Assemble(len(ens), results), nil
+}
+
+// encodeTraj serializes a trajectory to MDT bytes.
+func encodeTraj(t *traj.Trajectory) ([]byte, error) {
+	var buf bytesBuffer
+	w, err := traj.NewMDTWriter(&buf, t.Name, t.NAtoms, len(t.Frames), 8)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range t.Frames {
+		if err := w.WriteFrame(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// bytesBuffer is a minimal io.Writer over a byte slice (avoids pulling
+// in bytes.Buffer's unused surface in hot paths).
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// encodeFloats packs float64 values little-endian.
+func encodeFloats(vals []float64) []byte {
+	out := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// decodeFloats unpacks little-endian float64 values.
+func decodeFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("psa: float payload length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package psa
+
+import (
+	"testing"
+	"time"
+
+	"mdtask/internal/dask"
+	"mdtask/internal/hausdorff"
+	"mdtask/internal/pilot"
+	"mdtask/internal/rdd"
+)
+
+// All engine drivers must produce exactly the serial reference matrix.
+func TestDriversMatchSerial(t *testing.T) {
+	ens := testEnsemble(6, 7, 5)
+	want, err := Serial(ens, hausdorff.Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n1 = 2
+
+	t.Run("rdd", func(t *testing.T) {
+		got, err := RunRDD(rdd.NewContext(4), ens, n1, hausdorff.Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matricesEqual(got, want, 0) {
+			t.Fatal("rdd matrix != serial")
+		}
+	})
+	t.Run("dask", func(t *testing.T) {
+		got, err := RunDask(dask.NewClient(4), ens, n1, hausdorff.Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matricesEqual(got, want, 0) {
+			t.Fatal("dask matrix != serial")
+		}
+	})
+	t.Run("mpi", func(t *testing.T) {
+		got, err := RunMPI(4, ens, n1, hausdorff.Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matricesEqual(got, want, 0) {
+			t.Fatal("mpi matrix != serial")
+		}
+	})
+	t.Run("pilot", func(t *testing.T) {
+		cfg := pilot.Config{
+			DBLatency:          50 * time.Microsecond,
+			AgentPollInterval:  500 * time.Microsecond,
+			ClientPollInterval: 500 * time.Microsecond,
+		}
+		p, err := pilot.NewPilot(4, t.TempDir(), pilot.NewDB(cfg.DBLatency), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Shutdown()
+		got, err := RunPilot(p, ens, n1, hausdorff.Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pilot round-trips coordinates through MDT files at float64
+		// precision, so results are exact.
+		if !matricesEqual(got, want, 0) {
+			t.Fatal("pilot matrix != serial")
+		}
+	})
+}
+
+func TestDriversEarlyBreakMethod(t *testing.T) {
+	ens := testEnsemble(4, 6, 4)
+	want, _ := Serial(ens, hausdorff.Naive) // early-break is exact
+	got, err := RunRDD(rdd.NewContext(2), ens, 2, hausdorff.EarlyBreak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(got, want, 0) {
+		t.Fatal("early-break result differs")
+	}
+}
+
+func TestDriversRejectBadGroupSize(t *testing.T) {
+	ens := testEnsemble(4, 5, 3)
+	if _, err := RunRDD(rdd.NewContext(2), ens, 3, hausdorff.Naive); err == nil {
+		t.Error("rdd accepted non-divisor group size")
+	}
+	if _, err := RunDask(dask.NewClient(2), ens, 3, hausdorff.Naive); err == nil {
+		t.Error("dask accepted non-divisor group size")
+	}
+	if _, err := RunMPI(2, ens, 3, hausdorff.Naive); err == nil {
+		t.Error("mpi accepted non-divisor group size")
+	}
+}
+
+func TestFloatCodec(t *testing.T) {
+	vals := []float64{0, 1.5, -2.25, 1e300}
+	got, err := decodeFloats(encodeFloats(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("codec mismatch at %d: %v vs %v", i, got[i], vals[i])
+		}
+	}
+	if _, err := decodeFloats([]byte{1, 2, 3}); err == nil {
+		t.Error("odd-length payload accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Package psa implements Path Similarity Analysis (the paper's §2.1.1,
+// Algorithm 1): the all-pairs Hausdorff distance matrix over an ensemble
+// of trajectories, parallelized with the 2-D output partitioning of
+// Algorithm 2 and runnable on each of the four task-parallel engines
+// (§4.2). PSA is embarrassingly parallel; each task computes one block
+// of the distance matrix serially.
+package psa
+
+import (
+	"fmt"
+
+	"mdtask/internal/hausdorff"
+	"mdtask/internal/traj"
+)
+
+// Matrix is a dense symmetric N×N distance matrix.
+type Matrix struct {
+	N    int
+	Data []float64 // row-major
+}
+
+// NewMatrix allocates an N×N zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Block is one task of the 2-D partitioning: the sub-matrix
+// [I0,I1) × [J0,J1) of the output distance matrix (Algorithm 2: an
+// n1×n1 group of pairwise comparisons executed serially).
+type Block struct {
+	I0, I1, J0, J1 int
+}
+
+// Pairs returns the number of trajectory comparisons in the block.
+func (b Block) Pairs() int { return (b.I1 - b.I0) * (b.J1 - b.J0) }
+
+// Partition2D maps the N² distances onto (N/n1)² block tasks
+// (Algorithm 2). n1 must be a positive divisor of N.
+func Partition2D(n, n1 int) ([]Block, error) {
+	if n1 <= 0 || n%n1 != 0 {
+		return nil, fmt.Errorf("psa: group size %d must be a positive divisor of N=%d", n1, n)
+	}
+	k := n / n1
+	blocks := make([]Block, 0, k*k)
+	for bi := 0; bi < k; bi++ {
+		for bj := 0; bj < k; bj++ {
+			blocks = append(blocks, Block{
+				I0: bi * n1, I1: (bi + 1) * n1,
+				J0: bj * n1, J1: (bj + 1) * n1,
+			})
+		}
+	}
+	return blocks, nil
+}
+
+// BlockResult carries one computed block back to the assembler.
+type BlockResult struct {
+	Block Block
+	// Values is row-major over the block: (I1-I0)×(J1-J0).
+	Values []float64
+}
+
+// ComputeBlock evaluates every Hausdorff distance of one block serially
+// (the task body shared by all engine drivers).
+func ComputeBlock(ens traj.Ensemble, b Block, m hausdorff.Method) BlockResult {
+	vals := make([]float64, 0, b.Pairs())
+	for i := b.I0; i < b.I1; i++ {
+		for j := b.J0; j < b.J1; j++ {
+			vals = append(vals, hausdorff.Distance(ens[i], ens[j], m))
+		}
+	}
+	return BlockResult{Block: b, Values: vals}
+}
+
+// Assemble writes block results into the full matrix.
+func Assemble(n int, results []BlockResult) *Matrix {
+	m := NewMatrix(n)
+	for _, r := range results {
+		w := r.Block.J1 - r.Block.J0
+		for i := r.Block.I0; i < r.Block.I1; i++ {
+			row := r.Values[(i-r.Block.I0)*w : (i-r.Block.I0+1)*w]
+			copy(m.Data[i*n+r.Block.J0:i*n+r.Block.J1], row)
+		}
+	}
+	return m
+}
+
+// Serial computes the full PSA distance matrix on one goroutine: the
+// reference implementation every engine driver is validated against.
+func Serial(ens traj.Ensemble, m hausdorff.Method) (*Matrix, error) {
+	if err := ens.Validate(); err != nil {
+		return nil, err
+	}
+	out := NewMatrix(len(ens))
+	for i := range ens {
+		for j := range ens {
+			out.Set(i, j, hausdorff.Distance(ens[i], ens[j], m))
+		}
+	}
+	return out, nil
+}
+
+// DefaultGroupSize picks the largest n1 dividing n with at least
+// wantTasks = (n/n1)² tasks, the heuristic the drivers use to generate
+// one task per core (§4.2: "one task per core").
+func DefaultGroupSize(n, wantTasks int) int {
+	best := 1
+	for n1 := 1; n1 <= n; n1++ {
+		if n%n1 != 0 {
+			continue
+		}
+		k := n / n1
+		if k*k >= wantTasks && n1 > best {
+			best = n1
+		}
+	}
+	return best
+}

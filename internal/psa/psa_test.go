@@ -1,0 +1,136 @@
+package psa
+
+import (
+	"math"
+	"testing"
+
+	"mdtask/internal/hausdorff"
+	"mdtask/internal/synth"
+	"mdtask/internal/traj"
+)
+
+func testEnsemble(n, atoms, frames int) traj.Ensemble {
+	ens := make(traj.Ensemble, n)
+	for i := range ens {
+		ens[i] = synth.Walk("t", atoms, frames, 77, uint64(i))
+	}
+	return ens
+}
+
+func TestPartition2DCoversAllPairs(t *testing.T) {
+	for _, tc := range []struct{ n, n1 int }{{8, 2}, {8, 4}, {8, 8}, {6, 1}, {12, 3}} {
+		blocks, err := Partition2D(tc.n, tc.n1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := tc.n / tc.n1
+		if len(blocks) != k*k {
+			t.Fatalf("n=%d n1=%d: %d blocks, want %d", tc.n, tc.n1, len(blocks), k*k)
+		}
+		covered := make([][]int, tc.n)
+		for i := range covered {
+			covered[i] = make([]int, tc.n)
+		}
+		for _, b := range blocks {
+			for i := b.I0; i < b.I1; i++ {
+				for j := b.J0; j < b.J1; j++ {
+					covered[i][j]++
+				}
+			}
+		}
+		for i := range covered {
+			for j := range covered[i] {
+				if covered[i][j] != 1 {
+					t.Fatalf("pair (%d,%d) covered %d times", i, j, covered[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestPartition2DRejectsBadGroupSize(t *testing.T) {
+	for _, n1 := range []int{0, -1, 3, 5} {
+		if _, err := Partition2D(8, n1); err == nil {
+			t.Errorf("n1=%d accepted for N=8", n1)
+		}
+	}
+}
+
+func TestDefaultGroupSize(t *testing.T) {
+	// 128 trajectories, 16 tasks: k=4, n1=32.
+	if got := DefaultGroupSize(128, 16); got != 32 {
+		t.Errorf("DefaultGroupSize(128,16) = %d, want 32", got)
+	}
+	// 128 trajectories, 256 tasks: k=16, n1=8.
+	if got := DefaultGroupSize(128, 256); got != 8 {
+		t.Errorf("DefaultGroupSize(128,256) = %d, want 8", got)
+	}
+	// Must always return a divisor.
+	for n := 1; n <= 40; n++ {
+		for w := 1; w <= 40; w++ {
+			n1 := DefaultGroupSize(n, w)
+			if n1 < 1 || n%n1 != 0 {
+				t.Fatalf("DefaultGroupSize(%d,%d) = %d not a divisor", n, w, n1)
+			}
+		}
+	}
+}
+
+func TestSerialProperties(t *testing.T) {
+	ens := testEnsemble(5, 6, 4)
+	m, err := Serial(ens, hausdorff.Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.N; i++ {
+		if m.At(i, i) != 0 {
+			t.Errorf("diagonal (%d,%d) = %v", i, i, m.At(i, i))
+		}
+		for j := 0; j < m.N; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+			if i != j && m.At(i, j) <= 0 {
+				t.Errorf("non-positive off-diagonal at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestComputeBlockAndAssemble(t *testing.T) {
+	ens := testEnsemble(4, 5, 3)
+	want, _ := Serial(ens, hausdorff.Naive)
+	blocks, err := Partition2D(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]BlockResult, len(blocks))
+	for i, b := range blocks {
+		results[i] = ComputeBlock(ens, b, hausdorff.Naive)
+		if len(results[i].Values) != b.Pairs() {
+			t.Fatalf("block %d: %d values, want %d", i, len(results[i].Values), b.Pairs())
+		}
+	}
+	got := Assemble(4, results)
+	if !matricesEqual(got, want, 0) {
+		t.Fatal("assembled matrix != serial")
+	}
+}
+
+func matricesEqual(a, b *Matrix, tol float64) bool {
+	if a.N != b.N {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSerialRejectsInvalidEnsemble(t *testing.T) {
+	if _, err := Serial(traj.Ensemble{nil}, hausdorff.Naive); err == nil {
+		t.Fatal("nil member accepted")
+	}
+}

@@ -1,0 +1,258 @@
+package rdd
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Additional RDD operations mirroring the PySpark surface the paper's
+// implementations use.
+
+// Union concatenates two RDDs partition-wise (narrow: no shuffle), like
+// Spark's union.
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	if a.ctx != b.ctx {
+		panic("rdd: Union across contexts")
+	}
+	na := a.numParts
+	return &RDD[T]{
+		ctx:      a.ctx,
+		name:     a.name + "|union",
+		numParts: na + b.numParts,
+		compute: func(part int) ([]T, error) {
+			if part < na {
+				return a.materializedPartition(part)
+			}
+			return b.materializedPartition(part - na)
+		},
+	}
+}
+
+// ZipWithIndex pairs every element with its global index in partition
+// order. Like Spark, this triggers a pass to size the partitions.
+func ZipWithIndex[T any](r *RDD[T]) (*RDD[KV[int64, T]], error) {
+	parts, err := r.runStage()
+	if err != nil {
+		return nil, err
+	}
+	offsets := make([]int64, len(parts))
+	var total int64
+	for i, p := range parts {
+		offsets[i] = total
+		total += int64(len(p))
+	}
+	return &RDD[KV[int64, T]]{
+		ctx:      r.ctx,
+		name:     r.name + "|zipWithIndex",
+		numParts: r.numParts,
+		compute: func(part int) ([]KV[int64, T], error) {
+			in := parts[part]
+			out := make([]KV[int64, T], len(in))
+			for i, v := range in {
+				out[i] = KV[int64, T]{offsets[part] + int64(i), v}
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// Sample returns a Bernoulli sample of the RDD with the given fraction,
+// deterministic for a (seed, partition) pair, like Spark's
+// sample(withReplacement=false).
+func Sample[T any](r *RDD[T], fraction float64, seed uint64) *RDD[T] {
+	return &RDD[T]{
+		ctx:      r.ctx,
+		name:     r.name + "|sample",
+		numParts: r.numParts,
+		compute: func(part int) ([]T, error) {
+			in, err := r.materializedPartition(part)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewPCG(seed, uint64(part)))
+			var out []T
+			for _, v := range in {
+				if rng.Float64() < fraction {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// SortBy returns all elements sorted by the key function. Like Spark's
+// sortBy, this is an action-like global operation; the result is a
+// single-partition RDD (sufficient for the analysis result sizes here).
+func SortBy[T any, K interface {
+	~int | ~int64 | ~float64 | ~string
+}](r *RDD[T], key func(T) K) (*RDD[T], error) {
+	all, err := r.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(all, func(i, j int) bool { return key(all[i]) < key(all[j]) })
+	return FromPartitions(r.ctx, [][]T{all}), nil
+}
+
+// CountByKey returns a map from key to occurrence count (action).
+func CountByKey[K comparable, V any](r *RDD[KV[K, V]]) (map[K]int64, error) {
+	parts, err := r.runStage()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]int64)
+	for _, p := range parts {
+		for _, kv := range p {
+			out[kv.Key]++
+		}
+	}
+	return out, nil
+}
+
+// Join inner-joins two keyed RDDs, producing every pairing of values
+// that share a key (a full shuffle on both sides).
+func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], numParts int) (*RDD[KV[K, struct {
+	Left  V
+	Right W
+}]], error) {
+	if numParts <= 0 {
+		numParts = a.numParts
+	}
+	left := GroupByKey(a, numParts)
+	right := GroupByKey(b, numParts)
+	lparts, err := left.runStage()
+	if err != nil {
+		return nil, err
+	}
+	rparts, err := right.runStage()
+	if err != nil {
+		return nil, err
+	}
+	type pair = KV[K, struct {
+		Left  V
+		Right W
+	}]
+	return &RDD[pair]{
+		ctx:      a.ctx,
+		name:     a.name + "|join",
+		numParts: numParts,
+		compute: func(part int) ([]pair, error) {
+			rm := make(map[K][]W)
+			for _, kv := range rparts[part] {
+				rm[kv.Key] = kv.Value
+			}
+			var out []pair
+			for _, kv := range lparts[part] {
+				ws, ok := rm[kv.Key]
+				if !ok {
+					continue
+				}
+				for _, v := range kv.Value {
+					for _, w := range ws {
+						out = append(out, pair{kv.Key, struct {
+							Left  V
+							Right W
+						}{v, w}})
+					}
+				}
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// TreeAggregate aggregates with a per-partition sequence function and a
+// logarithmic-depth combine tree, like Spark's treeAggregate — the
+// pattern that keeps large reduce fan-ins off the driver. As in Spark,
+// zero seeds every partition, so it must be an identity of comb.
+func TreeAggregate[T, A any](r *RDD[T], zero A, seq func(A, T) A, comb func(A, A) A) (A, error) {
+	parts, err := r.runStage()
+	if err != nil {
+		var z A
+		return z, err
+	}
+	partials := make([]A, len(parts))
+	err = r.ctx.pool.ForEach(len(parts), func(i int) error {
+		acc := zero
+		for _, v := range parts[i] {
+			acc = seq(acc, v)
+		}
+		partials[i] = acc
+		return nil
+	})
+	if err != nil {
+		var z A
+		return z, err
+	}
+	for len(partials) > 1 {
+		half := (len(partials) + 1) / 2
+		next := make([]A, half)
+		nerr := r.ctx.pool.ForEach(half, func(i int) error {
+			if 2*i+1 < len(partials) {
+				next[i] = comb(partials[2*i], partials[2*i+1])
+			} else {
+				next[i] = partials[2*i]
+			}
+			return nil
+		})
+		if nerr != nil {
+			var z A
+			return z, nerr
+		}
+		partials = next
+	}
+	if len(partials) == 0 {
+		return zero, nil
+	}
+	return partials[0], nil
+}
+
+// Foreach applies fn to every element for its side effects (action).
+// fn must be safe for concurrent use.
+func Foreach[T any](r *RDD[T], fn func(T)) error {
+	parts, err := r.runStage()
+	if err != nil {
+		return err
+	}
+	return r.ctx.pool.ForEach(len(parts), func(i int) error {
+		for _, v := range parts[i] {
+			fn(v)
+		}
+		return nil
+	})
+}
+
+// First returns the first element in partition order.
+func First[T any](r *RDD[T]) (T, error) {
+	var zero T
+	parts, err := r.runStage()
+	if err != nil {
+		return zero, err
+	}
+	for _, p := range parts {
+		if len(p) > 0 {
+			return p[0], nil
+		}
+	}
+	return zero, fmt.Errorf("rdd: First of empty RDD: %w", ErrEmptyRDD)
+}
+
+// Take returns up to n elements in partition order.
+func Take[T any](r *RDD[T], n int) ([]T, error) {
+	parts, err := r.runStage()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		for _, v := range p {
+			if len(out) == n {
+				return out, nil
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package rdd
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestUnion(t *testing.T) {
+	ctx := NewContext(3)
+	a := Parallelize(ctx, []int{1, 2}, 2)
+	b := Parallelize(ctx, []int{3, 4, 5}, 2)
+	u := Union(a, b)
+	if u.NumPartitions() != 4 {
+		t.Fatalf("partitions = %d", u.NumPartitions())
+	}
+	got, err := u.Collect()
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 3, 4, 5}) {
+		t.Fatalf("Union = %v, %v", got, err)
+	}
+}
+
+func TestZipWithIndex(t *testing.T) {
+	ctx := NewContext(2)
+	r := Parallelize(ctx, []string{"a", "b", "c", "d", "e"}, 3)
+	z, err := ZipWithIndex(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := z.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, kv := range got {
+		if kv.Key != int64(i) {
+			t.Fatalf("element %d indexed %d", i, kv.Key)
+		}
+	}
+}
+
+func TestSampleDeterministicFraction(t *testing.T) {
+	ctx := NewContext(4)
+	r := Parallelize(ctx, intRange(10000), 8)
+	s1, err := Sample(r, 0.3, 42).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Sample(r, 0.3, 42).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Errorf("sample not deterministic: %d vs %d", s1, s2)
+	}
+	if s1 < 2500 || s1 > 3500 {
+		t.Errorf("sample size %d far from 3000", s1)
+	}
+	empty, _ := Sample(r, 0, 1).Count()
+	if empty != 0 {
+		t.Errorf("fraction 0 sampled %d", empty)
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	ctx := NewContext(3)
+	r := Parallelize(ctx, []int{5, 3, 9, 1, 7}, 3)
+	s, err := SortBy(r, func(x int) int { return -x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Collect()
+	if !reflect.DeepEqual(got, []int{9, 7, 5, 3, 1}) {
+		t.Fatalf("SortBy = %v", got)
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	ctx := NewContext(2)
+	kvs := []KV[string, int]{{"a", 1}, {"b", 2}, {"a", 3}}
+	counts, err := CountByKey(Parallelize(ctx, kvs, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ctx := NewContext(3)
+	left := Parallelize(ctx, []KV[int, string]{{1, "a"}, {2, "b"}, {1, "c"}}, 2)
+	right := Parallelize(ctx, []KV[int, int]{{1, 10}, {3, 30}}, 2)
+	j, err := Join(left, right, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 1 joins {a,c}x{10}; keys 2 and 3 have no partner.
+	if len(got) != 2 {
+		t.Fatalf("join produced %v", got)
+	}
+	var vals []string
+	for _, kv := range got {
+		if kv.Key != 1 || kv.Value.Right != 10 {
+			t.Fatalf("unexpected pair %v", kv)
+		}
+		vals = append(vals, kv.Value.Left)
+	}
+	sort.Strings(vals)
+	if !reflect.DeepEqual(vals, []string{"a", "c"}) {
+		t.Fatalf("joined lefts = %v", vals)
+	}
+}
+
+func TestTreeAggregate(t *testing.T) {
+	ctx := NewContext(4)
+	r := Parallelize(ctx, intRange(1000), 16)
+	sum, err := TreeAggregate(r, 0,
+		func(a, x int) int { return a + x },
+		func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 999*1000/2 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestTreeAggregateEmpty(t *testing.T) {
+	ctx := NewContext(2)
+	r := Parallelize(ctx, []int(nil), 0)
+	// As in Spark, the zero value seeds every partition, so it must be
+	// an identity of the combine function.
+	got, err := TreeAggregate(r, 0,
+		func(a, x int) int { return a + x },
+		func(a, b int) int { return a + b })
+	if err != nil || got != 0 {
+		t.Fatalf("TreeAggregate(empty) = %d, %v", got, err)
+	}
+}
+
+func TestForeach(t *testing.T) {
+	ctx := NewContext(4)
+	r := Parallelize(ctx, intRange(100), 8)
+	var mu sync.Mutex
+	sum := 0
+	err := Foreach(r, func(x int) {
+		mu.Lock()
+		sum += x
+		mu.Unlock()
+	})
+	if err != nil || sum != 4950 {
+		t.Fatalf("Foreach sum = %d, %v", sum, err)
+	}
+}
+
+func TestFirstAndTake(t *testing.T) {
+	ctx := NewContext(2)
+	r := Parallelize(ctx, []int{7, 8, 9}, 2)
+	first, err := First(r)
+	if err != nil || first != 7 {
+		t.Fatalf("First = %d, %v", first, err)
+	}
+	take, err := Take(r, 2)
+	if err != nil || !reflect.DeepEqual(take, []int{7, 8}) {
+		t.Fatalf("Take = %v, %v", take, err)
+	}
+	all, err := Take(r, 10)
+	if err != nil || len(all) != 3 {
+		t.Fatalf("Take(10) = %v", all)
+	}
+	empty := Parallelize(ctx, []int(nil), 0)
+	if _, err := First(empty); !errors.Is(err, ErrEmptyRDD) {
+		t.Fatalf("First(empty) err = %v", err)
+	}
+}

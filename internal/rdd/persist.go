@@ -1,0 +1,115 @@
+package rdd
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Disk persistence: Spark's MEMORY_AND_DISK behaviour — partitions are
+// materialized once and spilled to disk files, then served from disk on
+// later accesses (§3.1: "Spark offloads to disk when an executor does
+// not have enough free memory").
+
+// DiskRDD wraps an RDD whose partitions are persisted as gob files.
+type DiskRDD[T any] struct {
+	*RDD[T]
+	dir   string
+	once  sync.Once
+	err   error
+	paths []string
+}
+
+// PersistDisk materializes the RDD's partitions to gob files under dir
+// (one file per partition) on first action and serves all later
+// accesses from disk. The caller owns dir's lifecycle.
+func PersistDisk[T any](r *RDD[T], dir string) *DiskRDD[T] {
+	d := &DiskRDD[T]{dir: dir}
+	d.RDD = &RDD[T]{
+		ctx:      r.ctx,
+		name:     r.name + "|persistDisk",
+		numParts: r.numParts,
+		compute: func(part int) ([]T, error) {
+			if err := d.materialize(r); err != nil {
+				return nil, err
+			}
+			return d.readPartition(part)
+		},
+	}
+	return d
+}
+
+// materialize runs the upstream once and spills every partition.
+func (d *DiskRDD[T]) materialize(r *RDD[T]) error {
+	d.once.Do(func() {
+		if err := os.MkdirAll(d.dir, 0o755); err != nil {
+			d.err = fmt.Errorf("rdd: persistDisk: %w", err)
+			return
+		}
+		parts, err := r.runStage()
+		if err != nil {
+			d.err = err
+			return
+		}
+		d.paths = make([]string, len(parts))
+		for i, p := range parts {
+			path := filepath.Join(d.dir, fmt.Sprintf("part-%05d.gob", i))
+			if err := writeGob(path, p); err != nil {
+				d.err = err
+				return
+			}
+			d.paths[i] = path
+		}
+	})
+	return d.err
+}
+
+// readPartition loads one spilled partition.
+func (d *DiskRDD[T]) readPartition(part int) ([]T, error) {
+	if part < 0 || part >= len(d.paths) {
+		return nil, fmt.Errorf("rdd: persistDisk: partition %d out of range", part)
+	}
+	var out []T
+	if err := readGob(d.paths[part], &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SpilledBytes reports the on-disk footprint of the persisted RDD
+// (0 before the first action).
+func (d *DiskRDD[T]) SpilledBytes() int64 {
+	var n int64
+	for _, p := range d.paths {
+		if fi, err := os.Stat(p); err == nil {
+			n += fi.Size()
+		}
+	}
+	return n
+}
+
+func writeGob(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("rdd: spilling partition: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("rdd: encoding partition: %w", err)
+	}
+	return f.Close()
+}
+
+func readGob(path string, v interface{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("rdd: reading spilled partition: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("rdd: decoding spilled partition: %w", err)
+	}
+	return nil
+}

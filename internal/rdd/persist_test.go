@@ -1,0 +1,78 @@
+package rdd
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPersistDiskServesFromDisk(t *testing.T) {
+	ctx := NewContext(4)
+	var computations int64
+	src := Map(Parallelize(ctx, intRange(100), 5), func(x int) (int, error) {
+		atomic.AddInt64(&computations, 1)
+		return x * 2, nil
+	})
+	d := PersistDisk(src, t.TempDir())
+
+	got1, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got1, got2) {
+		t.Fatal("disk round trip changed data")
+	}
+	for i, v := range got1 {
+		if v != 2*i {
+			t.Fatalf("element %d = %d", i, v)
+		}
+	}
+	if c := atomic.LoadInt64(&computations); c != 100 {
+		t.Errorf("upstream computed %d times, want 100 (once)", c)
+	}
+	if d.SpilledBytes() == 0 {
+		t.Error("nothing spilled to disk")
+	}
+}
+
+func TestPersistDiskDownstreamOps(t *testing.T) {
+	ctx := NewContext(2)
+	d := PersistDisk(Parallelize(ctx, intRange(20), 4), t.TempDir())
+	sum, err := Reduce(Map(d.RDD, func(x int) (int, error) { return x, nil }),
+		func(a, b int) int { return a + b })
+	if err != nil || sum != 190 {
+		t.Fatalf("sum = %d, %v", sum, err)
+	}
+}
+
+func TestPersistDiskStructPayload(t *testing.T) {
+	type rec struct {
+		Name string
+		Vals []float64
+	}
+	ctx := NewContext(2)
+	data := []rec{{"a", []float64{1, 2}}, {"b", []float64{3}}}
+	d := PersistDisk(Parallelize(ctx, data, 2), t.TempDir())
+	got, err := d.Collect()
+	if err != nil || !reflect.DeepEqual(got, data) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestPersistDiskBadDir(t *testing.T) {
+	ctx := NewContext(2)
+	// A file path where a directory is needed.
+	bad := filepath.Join(t.TempDir(), "file")
+	if err := writeGob(bad, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := PersistDisk(Parallelize(ctx, intRange(4), 2), filepath.Join(bad, "sub"))
+	if _, err := d.Collect(); err == nil {
+		t.Fatal("unwritable spill dir accepted")
+	}
+}

@@ -1,0 +1,305 @@
+package rdd
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func intRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizePartitioning(t *testing.T) {
+	ctx := NewContext(4)
+	r := Parallelize(ctx, intRange(10), 3)
+	if r.NumPartitions() != 3 {
+		t.Fatalf("partitions = %d", r.NumPartitions())
+	}
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, intRange(10)) {
+		t.Fatalf("Collect = %v", got)
+	}
+}
+
+func TestParallelizeMorePartitionsThanData(t *testing.T) {
+	ctx := NewContext(2)
+	r := Parallelize(ctx, intRange(3), 10)
+	if r.NumPartitions() != 3 {
+		t.Errorf("partitions clamped to %d, want 3", r.NumPartitions())
+	}
+	n, err := r.Count()
+	if err != nil || n != 3 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+func TestParallelizeEmpty(t *testing.T) {
+	ctx := NewContext(2)
+	r := Parallelize(ctx, []int(nil), 0)
+	got, err := r.Collect()
+	if err != nil || len(got) != 0 {
+		t.Errorf("Collect = %v, %v", got, err)
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	ctx := NewContext(3)
+	r := Parallelize(ctx, intRange(20), 4)
+	doubled := Map(r, func(x int) (int, error) { return 2 * x, nil })
+	evens := Filter(doubled, func(x int) bool { return x%4 == 0 })
+	expanded := FlatMap(evens, func(x int) ([]int, error) { return []int{x, x + 1}, nil })
+	got, err := expanded.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int
+	for _, x := range intRange(20) {
+		if 2*x%4 == 0 {
+			want = append(want, 2*x, 2*x+1)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestMapMatchesSerialQuick(t *testing.T) {
+	ctx := NewContext(4)
+	f := func(data []int16, parts uint8) bool {
+		np := int(parts%8) + 1
+		ints := make([]int, len(data))
+		for i, v := range data {
+			ints[i] = int(v)
+		}
+		r := Map(Parallelize(ctx, ints, np), func(x int) (int, error) { return x * x, nil })
+		got, err := r.Collect()
+		if err != nil {
+			return false
+		}
+		for i, v := range ints {
+			if got[i] != v*v {
+				return false
+			}
+		}
+		return len(got) == len(ints)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapPartitionsIndex(t *testing.T) {
+	ctx := NewContext(2)
+	r := Parallelize(ctx, intRange(8), 4)
+	tagged := MapPartitions(r, func(part int, in []int) ([]int, error) {
+		out := make([]int, len(in))
+		for i := range in {
+			out[i] = part
+		}
+		return out, nil
+	})
+	got, err := tagged.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	ctx := NewContext(4)
+	r := Parallelize(ctx, intRange(101), 7)
+	sum, err := Reduce(r, func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 5050 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	ctx := NewContext(2)
+	_, err := Reduce(Parallelize(ctx, []int(nil), 0), func(a, b int) int { return a + b })
+	if !errors.Is(err, ErrEmptyRDD) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	ctx := NewContext(2)
+	r := Map(Parallelize(ctx, intRange(10), 2), func(x int) (int, error) {
+		if x == 5 {
+			return 0, errors.New("bad element")
+		}
+		return x, nil
+	})
+	if _, err := r.Collect(); err == nil || !strings.Contains(err.Error(), "bad element") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPersistComputesOnce(t *testing.T) {
+	ctx := NewContext(4)
+	var computations int64
+	r := Map(Parallelize(ctx, intRange(10), 2), func(x int) (int, error) {
+		atomic.AddInt64(&computations, 1)
+		return x, nil
+	}).Persist()
+	if _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&computations); got != 10 {
+		t.Errorf("map ran %d times, want 10 (cached)", got)
+	}
+}
+
+func TestWithoutPersistRecomputes(t *testing.T) {
+	ctx := NewContext(4)
+	var computations int64
+	r := Map(Parallelize(ctx, intRange(10), 2), func(x int) (int, error) {
+		atomic.AddInt64(&computations, 1)
+		return x, nil
+	})
+	_, _ = r.Collect()
+	_, _ = r.Collect()
+	if got := atomic.LoadInt64(&computations); got != 20 {
+		t.Errorf("map ran %d times, want 20 (no cache)", got)
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	ctx := NewContext(4)
+	var kvs []KV[string, int]
+	for i := 0; i < 100; i++ {
+		kvs = append(kvs, KV[string, int]{Key: []string{"a", "b", "c"}[i%3], Value: 1})
+	}
+	r := ReduceByKey(Parallelize(ctx, kvs, 8), func(a, b int) int { return a + b }, 4)
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, kv := range got {
+		counts[kv.Key] += kv.Value
+	}
+	if counts["a"] != 34 || counts["b"] != 33 || counts["c"] != 33 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if ctx.Metrics.Snapshot().BytesShuffled == 0 {
+		t.Error("shuffle bytes not accounted")
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	ctx := NewContext(3)
+	kvs := []KV[int, string]{{1, "a"}, {2, "b"}, {1, "c"}, {2, "d"}, {3, "e"}}
+	r := GroupByKey(Parallelize(ctx, kvs, 2), 2)
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[int][]string{}
+	for _, kv := range got {
+		vs := append([]string(nil), kv.Value...)
+		sort.Strings(vs)
+		byKey[kv.Key] = vs
+	}
+	if !reflect.DeepEqual(byKey[1], []string{"a", "c"}) ||
+		!reflect.DeepEqual(byKey[2], []string{"b", "d"}) ||
+		!reflect.DeepEqual(byKey[3], []string{"e"}) {
+		t.Fatalf("byKey = %v", byKey)
+	}
+}
+
+func TestRepartitionPreservesMultiset(t *testing.T) {
+	ctx := NewContext(4)
+	r := Repartition(Parallelize(ctx, intRange(50), 2), 7)
+	if r.NumPartitions() != 7 {
+		t.Fatalf("partitions = %d", r.NumPartitions())
+	}
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, intRange(50)) {
+		t.Fatalf("multiset changed: %v", got)
+	}
+}
+
+func TestBroadcastAccounting(t *testing.T) {
+	ctx := NewContext(2)
+	b := NewBroadcast(ctx, []int{1, 2, 3}, 24)
+	if b.Value[1] != 2 || b.Bytes != 24 {
+		t.Errorf("broadcast = %+v", b)
+	}
+	if ctx.Metrics.Snapshot().BytesBroadcast != 24 {
+		t.Error("broadcast bytes not accounted")
+	}
+}
+
+func TestStageCounting(t *testing.T) {
+	ctx := NewContext(2)
+	r := Map(Parallelize(ctx, intRange(10), 2), func(x int) (int, error) { return x, nil })
+	_, _ = r.Collect() // stage 1: narrow chain collapses to one stage
+	s := ctx.Metrics.Snapshot()
+	if s.Stages != 1 {
+		t.Errorf("stages = %d, want 1 (pipelined narrow ops)", s.Stages)
+	}
+	_ = ReduceByKey(Map(r, func(x int) (KV[int, int], error) {
+		return KV[int, int]{x % 2, x}, nil
+	}), func(a, b int) int { return a + b }, 2)
+	s = ctx.Metrics.Snapshot()
+	// The shuffle's map side is one more stage; the narrow re-run of r
+	// pipelines into it.
+	if s.Stages != 2 {
+		t.Errorf("stages = %d, want 2", s.Stages)
+	}
+}
+
+func TestRangeRDD(t *testing.T) {
+	ctx := NewContext(2)
+	r := Range(ctx, 5, 5)
+	got, err := r.Collect()
+	if err != nil || !reflect.DeepEqual(got, intRange(5)) {
+		t.Fatalf("Range = %v, %v", got, err)
+	}
+}
+
+func TestFromPartitions(t *testing.T) {
+	ctx := NewContext(2)
+	r := FromPartitions(ctx, [][]string{{"a"}, {"b", "c"}})
+	got, err := r.Collect()
+	if err != nil || !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestShuffleErrorPropagates(t *testing.T) {
+	ctx := NewContext(2)
+	bad := Map(Parallelize(ctx, intRange(4), 2), func(x int) (KV[int, int], error) {
+		return KV[int, int]{}, errors.New("map failed")
+	})
+	r := ReduceByKey(bad, func(a, b int) int { return a + b }, 2)
+	if _, err := r.Collect(); err == nil {
+		t.Fatal("shuffle over failing parent succeeded")
+	}
+}

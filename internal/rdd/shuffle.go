@@ -1,0 +1,180 @@
+package rdd
+
+import (
+	"fmt"
+	"hash/maphash"
+)
+
+// KV is a key-value pair for the shuffle operations.
+type KV[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+var shuffleSeed = maphash.MakeSeed()
+
+// hashKey maps a key to a partition.
+func hashKey[K comparable](k K, numParts int) int {
+	return int(maphash.Comparable(shuffleSeed, k) % uint64(numParts))
+}
+
+// shuffleBytes estimates the wire size of n shuffled items; an item is
+// accounted at itemBytes. Callers that know exact payload sizes (the
+// Leaflet Finder drivers) account them separately.
+const defaultItemBytes = 24
+
+// ReduceByKey merges values per key with the associative function
+// combine, shuffling map-side pre-combined partials across a hash
+// partitioner into numParts reduce partitions (0 keeps the parent's
+// partition count). This is a stage boundary: the map side executes
+// eagerly, like a Spark shuffle write.
+func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], combine func(V, V) V, numParts int) *RDD[KV[K, V]] {
+	if numParts <= 0 {
+		numParts = r.numParts
+	}
+	// Map-side stage: compute partitions and pre-combine locally.
+	parts, err := r.runStage()
+	buckets := make([][]map[K]V, numParts) // [reduce partition][map partition]
+	for i := range buckets {
+		buckets[i] = make([]map[K]V, len(parts))
+	}
+	var shuffled int64
+	if err == nil {
+		for mp, part := range parts {
+			local := make(map[K]V)
+			for _, kv := range part {
+				if old, ok := local[kv.Key]; ok {
+					local[kv.Key] = combine(old, kv.Value)
+				} else {
+					local[kv.Key] = kv.Value
+				}
+			}
+			for k, v := range local {
+				rp := hashKey(k, numParts)
+				if buckets[rp][mp] == nil {
+					buckets[rp][mp] = make(map[K]V)
+				}
+				buckets[rp][mp][k] = v
+				shuffled++
+			}
+		}
+		r.ctx.Metrics.AddShuffle(shuffled * defaultItemBytes)
+	}
+	capturedErr := err
+	return &RDD[KV[K, V]]{
+		ctx:      r.ctx,
+		name:     r.name + "|reduceByKey",
+		numParts: numParts,
+		compute: func(part int) ([]KV[K, V], error) {
+			if capturedErr != nil {
+				return nil, fmt.Errorf("rdd: shuffle parent failed: %w", capturedErr)
+			}
+			merged := make(map[K]V)
+			for _, m := range buckets[part] {
+				for k, v := range m {
+					if old, ok := merged[k]; ok {
+						merged[k] = combine(old, v)
+					} else {
+						merged[k] = v
+					}
+				}
+			}
+			out := make([]KV[K, V], 0, len(merged))
+			for k, v := range merged {
+				out = append(out, KV[K, V]{k, v})
+			}
+			return out, nil
+		},
+	}
+}
+
+// GroupByKey shuffles all values for each key to one reduce partition.
+// Unlike ReduceByKey there is no map-side combining, so the full value
+// stream crosses the shuffle (the expensive pattern the paper's
+// Approach 3 avoids by pre-merging components map-side).
+func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], numParts int) *RDD[KV[K, []V]] {
+	if numParts <= 0 {
+		numParts = r.numParts
+	}
+	parts, err := r.runStage()
+	buckets := make([]map[K][]V, numParts)
+	for i := range buckets {
+		buckets[i] = make(map[K][]V)
+	}
+	var shuffled int64
+	if err == nil {
+		for _, part := range parts {
+			for _, kv := range part {
+				rp := hashKey(kv.Key, numParts)
+				buckets[rp][kv.Key] = append(buckets[rp][kv.Key], kv.Value)
+				shuffled++
+			}
+		}
+		r.ctx.Metrics.AddShuffle(shuffled * defaultItemBytes)
+	}
+	capturedErr := err
+	return &RDD[KV[K, []V]]{
+		ctx:      r.ctx,
+		name:     r.name + "|groupByKey",
+		numParts: numParts,
+		compute: func(part int) ([]KV[K, []V], error) {
+			if capturedErr != nil {
+				return nil, fmt.Errorf("rdd: shuffle parent failed: %w", capturedErr)
+			}
+			out := make([]KV[K, []V], 0, len(buckets[part]))
+			for k, vs := range buckets[part] {
+				out = append(out, KV[K, []V]{k, vs})
+			}
+			return out, nil
+		},
+	}
+}
+
+// Repartition redistributes elements round-robin into numParts
+// partitions through a full shuffle.
+func Repartition[T any](r *RDD[T], numParts int) *RDD[T] {
+	if numParts <= 0 {
+		numParts = r.ctx.DefaultParallelism
+	}
+	parts, err := r.runStage()
+	buckets := make([][]T, numParts)
+	if err == nil {
+		i := 0
+		var items int64
+		for _, part := range parts {
+			for _, v := range part {
+				buckets[i%numParts] = append(buckets[i%numParts], v)
+				i++
+				items++
+			}
+		}
+		r.ctx.Metrics.AddShuffle(items * defaultItemBytes)
+	}
+	capturedErr := err
+	return &RDD[T]{
+		ctx:      r.ctx,
+		name:     r.name + "|repartition",
+		numParts: numParts,
+		compute: func(part int) ([]T, error) {
+			if capturedErr != nil {
+				return nil, fmt.Errorf("rdd: shuffle parent failed: %w", capturedErr)
+			}
+			return buckets[part], nil
+		},
+	}
+}
+
+// Broadcast is a read-only value shipped once to every worker, like
+// Spark's torrent broadcast. Bytes is the caller-declared payload size
+// used for accounting.
+type Broadcast[T any] struct {
+	Value T
+	Bytes int64
+}
+
+// NewBroadcast registers a broadcast variable with the context,
+// accounting its payload size against the metrics.
+func NewBroadcast[T any](ctx *Context, value T, bytes int64) *Broadcast[T] {
+	ctx.Metrics.AddBroadcast(bytes)
+	return &Broadcast[T]{Value: value, Bytes: bytes}
+}

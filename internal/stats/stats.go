@@ -1,0 +1,113 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses: means, standard deviations (the paper reports means over
+// multiple runs with standard-deviation error bars), and speedup /
+// parallel-efficiency series.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0
+// for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// MeanStd returns both statistics in one pass over the helpers.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), StdDev(xs)
+}
+
+// Speedup returns base/t for each runtime t; zero runtimes yield 0.
+func Speedup(base float64, times []float64) []float64 {
+	out := make([]float64, len(times))
+	for i, t := range times {
+		if t > 0 {
+			out[i] = base / t
+		}
+	}
+	return out
+}
+
+// Efficiency returns speedup divided by the resource ratio for each
+// point: Efficiency(t1, t_p, p) = t1/(p * t_p).
+func Efficiency(base float64, times []float64, scales []float64) ([]float64, error) {
+	if len(times) != len(scales) {
+		return nil, fmt.Errorf("stats: %d times vs %d scales", len(times), len(scales))
+	}
+	out := make([]float64, len(times))
+	for i, t := range times {
+		if t > 0 && scales[i] > 0 {
+			out[i] = base / (t * scales[i])
+		}
+	}
+	return out, nil
+}
+
+// FormatSeconds renders a duration in seconds with sensible precision
+// for tables (3 significant figures).
+func FormatSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 0.01:
+		return fmt.Sprintf("%.2e", s)
+	case s < 10:
+		return fmt.Sprintf("%.3f", s)
+	case s < 1000:
+		return fmt.Sprintf("%.1f", s)
+	default:
+		return fmt.Sprintf("%.0f", s)
+	}
+}
+
+// FormatRate renders tasks/second for tables.
+func FormatRate(r float64) string {
+	switch {
+	case r == 0:
+		return "-"
+	case r < 10:
+		return fmt.Sprintf("%.2f", r)
+	case r < 1000:
+		return fmt.Sprintf("%.1f", r)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}
+
+// FormatBytes renders a byte count with binary units.
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

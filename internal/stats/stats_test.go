@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	// Sample std dev with n-1: variance = 32/7.
+	want := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	m, s := MeanStd(xs)
+	if m != 5 || math.Abs(s-want) > 1e-12 {
+		t.Errorf("MeanStd = %v, %v", m, s)
+	}
+}
+
+func TestMeanStdEdgeCases(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("edge cases wrong")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	got := Speedup(100, []float64{100, 50, 25, 0})
+	want := []float64{1, 2, 4, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Speedup = %v", got)
+		}
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	eff, err := Efficiency(100, []float64{100, 50}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff[0] != 1 || eff[1] != 1 {
+		t.Errorf("Efficiency = %v", eff)
+	}
+	if _, err := Efficiency(1, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestSpeedupNonNegativeQuick(t *testing.T) {
+	f := func(base float64, times []float64) bool {
+		base = math.Abs(base)
+		for i := range times {
+			times[i] = math.Abs(times[i])
+		}
+		for _, s := range Speedup(base, times) {
+			if s < 0 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.001:  "1.00e-03",
+		1.5:    "1.500",
+		42.25:  "42.2",
+		1234.5: "1234",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	if FormatRate(0) != "-" {
+		t.Error("zero rate")
+	}
+	if FormatRate(3.456) != "3.46" {
+		t.Errorf("got %q", FormatRate(3.456))
+	}
+	if FormatRate(123.4) != "123.4" {
+		t.Errorf("got %q", FormatRate(123.4))
+	}
+	if FormatRate(50000) != "50000" {
+		t.Errorf("got %q", FormatRate(50000))
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:              "512 B",
+		2048:             "2.0 KiB",
+		5 << 20:          "5.0 MiB",
+		3 << 30:          "3.0 GiB",
+		int64(7) << 40:   "7.0 TiB",
+		int64(1536) << 0: "1.5 KiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.HasSuffix(FormatBytes(int64(2)<<50), "PiB") {
+		t.Error("PiB formatting")
+	}
+}

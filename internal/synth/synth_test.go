@@ -1,0 +1,150 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"mdtask/internal/linalg"
+)
+
+func TestWalkDeterministic(t *testing.T) {
+	a := Walk("x", 10, 5, 42, 0)
+	b := Walk("x", 10, 5, 42, 0)
+	for f := range a.Frames {
+		for i := range a.Frames[f].Coords {
+			if a.Frames[f].Coords[i] != b.Frames[f].Coords[i] {
+				t.Fatalf("frame %d atom %d differs between identical seeds", f, i)
+			}
+		}
+	}
+	c := Walk("x", 10, 5, 43, 0)
+	if a.Frames[0].Coords[0] == c.Frames[0].Coords[0] {
+		t.Error("different seeds produced identical first coordinates")
+	}
+}
+
+func TestWalkShape(t *testing.T) {
+	tr := Walk("w", 7, 9, 1, 2)
+	if tr.NAtoms != 7 || tr.NFrames() != 9 {
+		t.Fatalf("shape = %d/%d", tr.NAtoms, tr.NFrames())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Frames should evolve: consecutive frames differ but only slightly.
+	d := linalg.DRMS(tr.Frames[0].Coords, tr.Frames[1].Coords)
+	if d == 0 {
+		t.Error("consecutive frames identical")
+	}
+	if d > 1 {
+		t.Errorf("consecutive frames too far apart: dRMS=%v", d)
+	}
+}
+
+func TestEnsemblePresets(t *testing.T) {
+	if Small.NAtoms != 3341 || Medium.NAtoms != 6682 || Large.NAtoms != 13364 {
+		t.Error("preset atom counts do not match the paper")
+	}
+	for _, p := range EnsemblePresets {
+		if p.NFrames != 102 {
+			t.Errorf("%s frames = %d, want 102", p.Name, p.NFrames)
+		}
+	}
+	ens := Ensemble(EnsemblePreset{Name: "tiny", NAtoms: 5, NFrames: 3}, 4, 7)
+	if len(ens) != 4 {
+		t.Fatalf("ensemble size = %d", len(ens))
+	}
+	names := map[string]bool{}
+	for _, tr := range ens {
+		if names[tr.Name] {
+			t.Errorf("duplicate name %s", tr.Name)
+		}
+		names[tr.Name] = true
+	}
+	// Members must differ from each other.
+	if linalg.DRMS(ens[0].Frames[0].Coords, ens[1].Frames[0].Coords) == 0 {
+		t.Error("ensemble members identical")
+	}
+}
+
+func TestBilayerLeafletCounts(t *testing.T) {
+	for _, n := range []int{2, 3, 100, 2048} {
+		sys := Bilayer(n, 1)
+		if len(sys.Coords) != n || len(sys.Leaflet) != n {
+			t.Fatalf("n=%d: got %d coords", n, len(sys.Coords))
+		}
+		lo, hi := sys.CountLeaflets()
+		if lo+hi != n || lo < hi || lo-hi > 1 {
+			t.Fatalf("n=%d: leaflets %d/%d", n, lo, hi)
+		}
+	}
+}
+
+func TestBilayerSeparation(t *testing.T) {
+	sys := Bilayer(2000, 3)
+	// Minimum distance between leaflets must exceed the cutoff, so the
+	// contact graph has exactly two components.
+	var lower, upper []linalg.Vec3
+	for i, p := range sys.Coords {
+		if sys.Leaflet[i] == 0 {
+			lower = append(lower, p)
+		} else {
+			upper = append(upper, p)
+		}
+	}
+	minDist := math.Inf(1)
+	for _, p := range upper {
+		if d := linalg.MinDistPointSet(p, lower); d < minDist {
+			minDist = d
+		}
+	}
+	if minDist <= BilayerCutoff {
+		t.Fatalf("leaflet separation %v <= cutoff %v", minDist, BilayerCutoff)
+	}
+}
+
+func TestBilayerConnectivityWithinLeaflet(t *testing.T) {
+	sys := Bilayer(512, 5)
+	// Every atom should have at least one neighbor within the cutoff in
+	// its own leaflet (no isolated atoms).
+	for i, p := range sys.Coords {
+		found := false
+		for j, q := range sys.Coords {
+			if i != j && sys.Leaflet[i] == sys.Leaflet[j] && linalg.Dist(p, q) <= BilayerCutoff {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("atom %d isolated within its leaflet", i)
+		}
+	}
+}
+
+func TestBilayerDeterministic(t *testing.T) {
+	a := Bilayer(300, 9)
+	b := Bilayer(300, 9)
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatal("bilayer not deterministic")
+		}
+	}
+}
+
+func TestBilayerPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bilayer accepted n=1")
+		}
+	}()
+	Bilayer(1, 0)
+}
+
+func TestMembranePresets(t *testing.T) {
+	want := map[string]int{"131k": 131072, "262k": 262144, "524k": 524288, "4M": 4_000_000}
+	for _, p := range MembranePresets {
+		if want[p.Name] != p.NAtoms {
+			t.Errorf("preset %s = %d atoms, want %d", p.Name, p.NAtoms, want[p.Name])
+		}
+	}
+}

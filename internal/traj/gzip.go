@@ -1,0 +1,67 @@
+package traj
+
+import (
+	"compress/gzip"
+	"fmt"
+	"os"
+)
+
+// Gzip-compressed MDT convenience I/O (.mdt.gz): the "optimizing
+// filesystem usage / reducing data transfer sizes" item from the
+// paper's future work (§6) applied to trajectory storage.
+
+// WriteMDTGZFile writes the trajectory as gzip-compressed MDT.
+func WriteMDTGZFile(path string, t *Trajectory, prec int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	zw, err := gzip.NewWriterLevel(f, gzip.BestSpeed)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	mw, err := NewMDTWriter(zw, t.Name, t.NAtoms, len(t.Frames), prec)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, fr := range t.Frames {
+		if err := mw.WriteFrame(fr); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := mw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadMDTGZFile reads a gzip-compressed MDT trajectory.
+func ReadMDTGZFile(path string) (*Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("traj: %s: %w", path, err)
+	}
+	defer zr.Close()
+	mr, err := NewMDTReader(zr)
+	if err != nil {
+		return nil, fmt.Errorf("traj: %s: %w", path, err)
+	}
+	t, err := mr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("traj: %s: %w", path, err)
+	}
+	return t, nil
+}

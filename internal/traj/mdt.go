@@ -1,0 +1,271 @@
+package traj
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"mdtask/internal/linalg"
+)
+
+// The MDT binary trajectory format.
+//
+// Layout (little endian):
+//
+//	magic   [4]byte  "MDT1"
+//	prec    uint8    4 (float32 coords) or 8 (float64 coords)
+//	nameLen uint16
+//	name    [nameLen]byte
+//	nAtoms  uint32
+//	nFrames uint32
+//	frames  nFrames × { time float64; coords nAtoms×3×prec }
+//	crc     uint32   IEEE CRC-32 over everything after the magic
+//
+// The frame payload streams, so readers can process trajectories larger
+// than memory one frame at a time.
+
+var mdtMagic = [4]byte{'M', 'D', 'T', '1'}
+
+// Errors returned by the MDT reader.
+var (
+	ErrBadMagic     = errors.New("traj: not an MDT file (bad magic)")
+	ErrBadPrecision = errors.New("traj: unsupported MDT precision")
+	ErrChecksum     = errors.New("traj: MDT checksum mismatch")
+	ErrTruncated    = errors.New("traj: MDT file truncated")
+)
+
+// MDTWriter streams a trajectory to an MDT file.
+type MDTWriter struct {
+	w       *bufio.Writer
+	crc     uint32
+	prec    int
+	nAtoms  int
+	written uint32
+	buf     []byte
+}
+
+// NewMDTWriter writes the MDT header and returns a writer for the frame
+// payload. prec must be 4 or 8. nFrames must be the exact number of
+// frames that will be written.
+func NewMDTWriter(w io.Writer, name string, nAtoms, nFrames, prec int) (*MDTWriter, error) {
+	if prec != 4 && prec != 8 {
+		return nil, fmt.Errorf("%w: %d", ErrBadPrecision, prec)
+	}
+	if len(name) > math.MaxUint16 {
+		return nil, fmt.Errorf("traj: trajectory name too long (%d bytes)", len(name))
+	}
+	bw := bufio.NewWriter(w)
+	mw := &MDTWriter{w: bw, prec: prec, nAtoms: nAtoms}
+	if _, err := bw.Write(mdtMagic[:]); err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 0, 16+len(name))
+	hdr = append(hdr, byte(prec))
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(name)))
+	hdr = append(hdr, name...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(nAtoms))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(nFrames))
+	mw.crc = crc32.Update(mw.crc, crc32.IEEETable, hdr)
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return mw, nil
+}
+
+// WriteFrame appends one frame to the payload.
+func (mw *MDTWriter) WriteFrame(f Frame) error {
+	if len(f.Coords) != mw.nAtoms {
+		return fmt.Errorf("%w: got %d coords, want %d", ErrShapeMismatch, len(f.Coords), mw.nAtoms)
+	}
+	need := 8 + len(f.Coords)*3*mw.prec
+	if cap(mw.buf) < need {
+		mw.buf = make([]byte, 0, need)
+	}
+	b := mw.buf[:0]
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.Time))
+	for _, p := range f.Coords {
+		for k := 0; k < 3; k++ {
+			if mw.prec == 4 {
+				b = binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(p[k])))
+			} else {
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(p[k]))
+			}
+		}
+	}
+	mw.buf = b
+	mw.crc = crc32.Update(mw.crc, crc32.IEEETable, b)
+	if _, err := mw.w.Write(b); err != nil {
+		return err
+	}
+	mw.written++
+	return nil
+}
+
+// Close writes the trailing checksum and flushes. It does not close the
+// underlying writer.
+func (mw *MDTWriter) Close() error {
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], mw.crc)
+	if _, err := mw.w.Write(tail[:]); err != nil {
+		return err
+	}
+	return mw.w.Flush()
+}
+
+// MDTReader streams frames from an MDT file.
+type MDTReader struct {
+	r       *bufio.Reader
+	crc     uint32
+	prec    int
+	name    string
+	nAtoms  int
+	nFrames int
+	read    int
+	buf     []byte
+}
+
+// NewMDTReader parses the MDT header from r.
+func NewMDTReader(r io.Reader) (*MDTReader, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if magic != mdtMagic {
+		return nil, ErrBadMagic
+	}
+	mr := &MDTReader{r: br}
+	fixed := make([]byte, 3)
+	if _, err := io.ReadFull(br, fixed); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	mr.crc = crc32.Update(mr.crc, crc32.IEEETable, fixed)
+	mr.prec = int(fixed[0])
+	if mr.prec != 4 && mr.prec != 8 {
+		return nil, fmt.Errorf("%w: %d", ErrBadPrecision, mr.prec)
+	}
+	nameLen := binary.LittleEndian.Uint16(fixed[1:3])
+	rest := make([]byte, int(nameLen)+8)
+	if _, err := io.ReadFull(br, rest); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	mr.crc = crc32.Update(mr.crc, crc32.IEEETable, rest)
+	mr.name = string(rest[:nameLen])
+	mr.nAtoms = int(binary.LittleEndian.Uint32(rest[nameLen:]))
+	mr.nFrames = int(binary.LittleEndian.Uint32(rest[nameLen+4:]))
+	return mr, nil
+}
+
+// Name returns the trajectory name stored in the header.
+func (mr *MDTReader) Name() string { return mr.name }
+
+// NAtoms returns the per-frame atom count.
+func (mr *MDTReader) NAtoms() int { return mr.nAtoms }
+
+// NFrames returns the number of frames in the file.
+func (mr *MDTReader) NFrames() int { return mr.nFrames }
+
+// ReadFrame reads the next frame. After the final frame it verifies the
+// trailing checksum and returns io.EOF on the following call.
+func (mr *MDTReader) ReadFrame() (Frame, error) {
+	if mr.read >= mr.nFrames {
+		var tail [4]byte
+		if _, err := io.ReadFull(mr.r, tail[:]); err != nil {
+			return Frame{}, fmt.Errorf("%w: missing checksum: %v", ErrTruncated, err)
+		}
+		if binary.LittleEndian.Uint32(tail[:]) != mr.crc {
+			return Frame{}, ErrChecksum
+		}
+		return Frame{}, io.EOF
+	}
+	need := 8 + mr.nAtoms*3*mr.prec
+	if cap(mr.buf) < need {
+		mr.buf = make([]byte, need)
+	}
+	b := mr.buf[:need]
+	if _, err := io.ReadFull(mr.r, b); err != nil {
+		return Frame{}, fmt.Errorf("%w: frame %d: %v", ErrTruncated, mr.read, err)
+	}
+	mr.crc = crc32.Update(mr.crc, crc32.IEEETable, b)
+	f := Frame{
+		Time:   math.Float64frombits(binary.LittleEndian.Uint64(b)),
+		Coords: make([]linalg.Vec3, mr.nAtoms),
+	}
+	off := 8
+	for i := 0; i < mr.nAtoms; i++ {
+		for k := 0; k < 3; k++ {
+			if mr.prec == 4 {
+				f.Coords[i][k] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[off:])))
+				off += 4
+			} else {
+				f.Coords[i][k] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+				off += 8
+			}
+		}
+	}
+	mr.read++
+	return f, nil
+}
+
+// ReadAll reads all remaining frames and verifies the checksum.
+func (mr *MDTReader) ReadAll() (*Trajectory, error) {
+	t := New(mr.name, mr.nAtoms)
+	for {
+		f, err := mr.ReadFrame()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Frames = append(t.Frames, f)
+	}
+}
+
+// WriteMDTFile writes the whole trajectory to path with the given
+// coordinate precision (4 or 8 bytes).
+func WriteMDTFile(path string, t *Trajectory, prec int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	mw, err := NewMDTWriter(f, t.Name, t.NAtoms, len(t.Frames), prec)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, fr := range t.Frames {
+		if err := mw.WriteFrame(fr); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := mw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadMDTFile reads a whole trajectory from path.
+func ReadMDTFile(path string) (*Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	mr, err := NewMDTReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("traj: %s: %w", path, err)
+	}
+	t, err := mr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("traj: %s: %w", path, err)
+	}
+	return t, nil
+}

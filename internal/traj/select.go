@@ -1,0 +1,57 @@
+package traj
+
+import (
+	"fmt"
+
+	"mdtask/internal/linalg"
+)
+
+// SelectAtoms returns a new trajectory restricted to the atoms at the
+// given indices (in the given order). This is the "Sub-setting" analysis
+// of the paper's §2: isolating parts of interest of an MD simulation.
+func (t *Trajectory) SelectAtoms(indices []int) (*Trajectory, error) {
+	for _, ix := range indices {
+		if ix < 0 || ix >= t.NAtoms {
+			return nil, fmt.Errorf("traj: atom index %d out of range [0,%d)", ix, t.NAtoms)
+		}
+	}
+	out := New(t.Name+"/atoms", len(indices))
+	for _, f := range t.Frames {
+		coords := make([]linalg.Vec3, len(indices))
+		for k, ix := range indices {
+			coords[k] = f.Coords[ix]
+		}
+		out.Frames = append(out.Frames, Frame{Time: f.Time, Coords: coords})
+	}
+	return out, nil
+}
+
+// SelectFrames returns a new trajectory containing frames
+// [start, stop) taken every stride frames. Coordinates are shared with
+// the receiver (no copy); use Clone for an independent trajectory.
+func (t *Trajectory) SelectFrames(start, stop, stride int) (*Trajectory, error) {
+	if stride <= 0 {
+		return nil, fmt.Errorf("traj: stride must be positive, got %d", stride)
+	}
+	if start < 0 || stop > len(t.Frames) || start > stop {
+		return nil, fmt.Errorf("traj: frame range [%d,%d) out of bounds [0,%d)", start, stop, len(t.Frames))
+	}
+	out := New(t.Name+"/frames", t.NAtoms)
+	for i := start; i < stop; i += stride {
+		out.Frames = append(out.Frames, t.Frames[i])
+	}
+	return out, nil
+}
+
+// SphereSelection returns the indices of atoms in frame whose positions
+// lie within radius of center.
+func SphereSelection(frame []linalg.Vec3, center linalg.Vec3, radius float64) []int {
+	r2 := radius * radius
+	var out []int
+	for i, p := range frame {
+		if linalg.Dist2(p, center) <= r2 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

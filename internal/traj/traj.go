@@ -1,0 +1,123 @@
+// Package traj provides the molecular-dynamics trajectory data model and
+// file formats used throughout the repository. A trajectory is a time
+// series of frames; each frame holds the 3-D positions of N atoms. This
+// replaces the trajectory I/O layer of MDAnalysis in the paper: the
+// analysis algorithms only consume "frames of N×3 coordinates", which is
+// exactly what this package produces.
+//
+// Two on-disk formats are provided:
+//
+//   - MDT (.mdt): a compact binary format with a checksummed payload and
+//     selectable float32/float64 coordinate precision (format.go).
+//   - XYZT (.xyzt): a human-readable text format in the spirit of XYZ
+//     files, one block per frame (xyzt.go).
+package traj
+
+import (
+	"errors"
+	"fmt"
+
+	"mdtask/internal/linalg"
+)
+
+// Frame is one snapshot of a physical system: the positions of all atoms
+// at a simulation time (in picoseconds).
+type Frame struct {
+	Time   float64
+	Coords []linalg.Vec3
+}
+
+// Clone returns a deep copy of the frame.
+func (f Frame) Clone() Frame {
+	c := make([]linalg.Vec3, len(f.Coords))
+	copy(c, f.Coords)
+	return Frame{Time: f.Time, Coords: c}
+}
+
+// Trajectory is a named time series of frames over a fixed set of atoms.
+// All frames must have exactly NAtoms coordinates.
+type Trajectory struct {
+	Name   string
+	NAtoms int
+	Frames []Frame
+}
+
+// ErrShapeMismatch is returned when a frame's coordinate count does not
+// match the trajectory's atom count.
+var ErrShapeMismatch = errors.New("traj: frame size does not match trajectory atom count")
+
+// New creates an empty trajectory for nAtoms atoms.
+func New(name string, nAtoms int) *Trajectory {
+	return &Trajectory{Name: name, NAtoms: nAtoms}
+}
+
+// AppendFrame adds a frame, validating its shape.
+func (t *Trajectory) AppendFrame(f Frame) error {
+	if len(f.Coords) != t.NAtoms {
+		return fmt.Errorf("%w: got %d coords, want %d", ErrShapeMismatch, len(f.Coords), t.NAtoms)
+	}
+	t.Frames = append(t.Frames, f)
+	return nil
+}
+
+// NFrames returns the number of frames.
+func (t *Trajectory) NFrames() int { return len(t.Frames) }
+
+// FrameCoords returns the coordinate slice of frame i (shared, not copied).
+func (t *Trajectory) FrameCoords(i int) []linalg.Vec3 { return t.Frames[i].Coords }
+
+// Validate checks the structural invariants of the trajectory.
+func (t *Trajectory) Validate() error {
+	if t.NAtoms < 0 {
+		return fmt.Errorf("traj: negative atom count %d", t.NAtoms)
+	}
+	for i, f := range t.Frames {
+		if len(f.Coords) != t.NAtoms {
+			return fmt.Errorf("traj: frame %d: %w (got %d, want %d)",
+				i, ErrShapeMismatch, len(f.Coords), t.NAtoms)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the trajectory.
+func (t *Trajectory) Clone() *Trajectory {
+	out := &Trajectory{Name: t.Name, NAtoms: t.NAtoms, Frames: make([]Frame, len(t.Frames))}
+	for i, f := range t.Frames {
+		out.Frames[i] = f.Clone()
+	}
+	return out
+}
+
+// Bytes returns the in-memory coordinate payload size in bytes (8 bytes
+// per float64 component), used for data-volume accounting in the
+// experiment harness.
+func (t *Trajectory) Bytes() int64 {
+	return int64(len(t.Frames)) * int64(t.NAtoms) * 3 * 8
+}
+
+// Ensemble is a set of trajectories analyzed together, e.g. by Path
+// Similarity Analysis.
+type Ensemble []*Trajectory
+
+// Validate checks every member trajectory.
+func (e Ensemble) Validate() error {
+	for i, t := range e {
+		if t == nil {
+			return fmt.Errorf("traj: ensemble member %d is nil", i)
+		}
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("traj: ensemble member %d (%s): %w", i, t.Name, err)
+		}
+	}
+	return nil
+}
+
+// Bytes returns the total coordinate payload of the ensemble.
+func (e Ensemble) Bytes() int64 {
+	var n int64
+	for _, t := range e {
+		n += t.Bytes()
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package traj
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mdtask/internal/linalg"
+)
+
+// The XYZT text trajectory format: a sequence of frame blocks,
+//
+//	<natoms>
+//	t=<time> <name>
+//	<x> <y> <z>
+//	... natoms coordinate lines ...
+//
+// in the spirit of the XYZ file family. It is intended for small files,
+// debugging, and interchange; the MDT binary format is the primary one.
+
+// WriteXYZT writes the trajectory as XYZT text.
+func WriteXYZT(w io.Writer, t *Trajectory) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range t.Frames {
+		if len(f.Coords) != t.NAtoms {
+			return fmt.Errorf("traj: WriteXYZT: %w", ErrShapeMismatch)
+		}
+		fmt.Fprintf(bw, "%d\nt=%g %s\n", t.NAtoms, f.Time, t.Name)
+		for _, p := range f.Coords {
+			fmt.Fprintf(bw, "%.8g %.8g %.8g\n", p[0], p[1], p[2])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadXYZT parses an XYZT stream into a trajectory. The atom count of
+// every frame must match the first frame's.
+func ReadXYZT(r io.Reader) (*Trajectory, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var t *Trajectory
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	for {
+		hdr, ok := next()
+		if !ok {
+			break
+		}
+		n, err := strconv.Atoi(hdr)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("traj: xyzt line %d: bad atom count %q", line, hdr)
+		}
+		meta, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("traj: xyzt line %d: missing frame comment line", line)
+		}
+		var tm float64
+		name := ""
+		fields := strings.Fields(meta)
+		if len(fields) > 0 && strings.HasPrefix(fields[0], "t=") {
+			tm, err = strconv.ParseFloat(fields[0][2:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("traj: xyzt line %d: bad time %q", line, fields[0])
+			}
+			if len(fields) > 1 {
+				name = strings.Join(fields[1:], " ")
+			}
+		}
+		if t == nil {
+			t = New(name, n)
+		} else if n != t.NAtoms {
+			return nil, fmt.Errorf("traj: xyzt line %d: frame atom count %d differs from %d", line, n, t.NAtoms)
+		}
+		coords := make([]linalg.Vec3, n)
+		for i := 0; i < n; i++ {
+			cl, ok := next()
+			if !ok {
+				return nil, fmt.Errorf("traj: xyzt line %d: truncated frame (%d/%d atoms)", line, i, n)
+			}
+			parts := strings.Fields(cl)
+			if len(parts) < 3 {
+				return nil, fmt.Errorf("traj: xyzt line %d: want 3 coordinates, got %d", line, len(parts))
+			}
+			for k := 0; k < 3; k++ {
+				coords[i][k], err = strconv.ParseFloat(parts[k], 64)
+				if err != nil {
+					return nil, fmt.Errorf("traj: xyzt line %d: bad coordinate %q", line, parts[k])
+				}
+			}
+		}
+		t.Frames = append(t.Frames, Frame{Time: tm, Coords: coords})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traj: xyzt: %w", err)
+	}
+	if t == nil {
+		t = New("", 0)
+	}
+	return t, nil
+}
+
+// WriteXYZTFile writes the trajectory to path as XYZT text.
+func WriteXYZTFile(path string, t *Trajectory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteXYZT(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadXYZTFile reads a trajectory from an XYZT text file.
+func ReadXYZTFile(path string) (*Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadXYZT(f)
+}
