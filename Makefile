@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench PSA -run '^$$' ./internal/bench/
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

@@ -245,7 +245,7 @@ func BenchmarkPSASerial(b *testing.B) {
 	ens := synth.Ensemble(synth.EnsemblePreset{Name: "b", NAtoms: 128, NFrames: 20}, 8, 13)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := psa.Serial(ens, hausdorff.Naive); err != nil {
+		if _, err := psa.Serial(ens, psa.Opts{Method: hausdorff.Naive}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -255,7 +255,7 @@ func BenchmarkPSARDDEngine(b *testing.B) {
 	ens := synth.Ensemble(synth.EnsemblePreset{Name: "b", NAtoms: 128, NFrames: 20}, 8, 13)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := psa.RunRDD(rdd.NewContext(0), ens, 2, hausdorff.Naive); err != nil {
+		if _, err := psa.RunRDD(rdd.NewContext(0), ens, 2, psa.Opts{Method: hausdorff.Naive}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -265,7 +265,7 @@ func BenchmarkPSADaskEngine(b *testing.B) {
 	ens := synth.Ensemble(synth.EnsemblePreset{Name: "b", NAtoms: 128, NFrames: 20}, 8, 13)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := psa.RunDask(dask.NewClient(0), ens, 2, hausdorff.Naive); err != nil {
+		if _, err := psa.RunDask(dask.NewClient(0), ens, 2, psa.Opts{Method: hausdorff.Naive}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	psa -in data/ -engine dask -parallel 8 -method early-break
+//	psa -in data/ -engine mpi -sym=false   # paper-faithful full N×N schedule
 package main
 
 import (
@@ -29,9 +30,10 @@ func main() {
 		method   = flag.String("method", "naive", "hausdorff method: naive | early-break")
 		tasks    = flag.Int("tasks", 0, "task count (0: one per worker)")
 		clusters = flag.Int("clusters", 0, "also cluster trajectories into k groups (0: off)")
+		sym      = flag.Bool("sym", true, "exploit H(A,B)=H(B,A): schedule only diagonal+upper blocks (-sym=false: paper-faithful full matrix)")
 	)
 	flag.Parse()
-	if err := run(*in, *engine, *parallel, *method, *tasks, *clusters); err != nil {
+	if err := run(*in, *engine, *parallel, *method, *tasks, *clusters, *sym); err != nil {
 		fmt.Fprintln(os.Stderr, "psa:", err)
 		os.Exit(1)
 	}
@@ -52,7 +54,7 @@ func parseEngine(s string) (core.Engine, error) {
 	}
 }
 
-func run(in, engineName string, parallel int, methodName string, tasks, clusters int) error {
+func run(in, engineName string, parallel int, methodName string, tasks, clusters int, sym bool) error {
 	eng, err := parseEngine(engineName)
 	if err != nil {
 		return err
@@ -85,13 +87,18 @@ func run(in, engineName string, parallel int, methodName string, tasks, clusters
 	fmt.Printf("loaded %d trajectories (%d atoms, %d frames each)\n",
 		len(ens), ens[0].NAtoms, ens[0].NFrames())
 
-	cfg := core.Config{Engine: eng, Parallelism: parallel, Tasks: tasks}
+	cfg := core.Config{Engine: eng, Parallelism: parallel, Tasks: tasks, FullMatrix: !sym}
 	start := time.Now()
 	mat, err := core.PSA(cfg, ens, m)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("engine=%s method=%s elapsed=%s\n", eng, m, time.Since(start).Round(time.Millisecond))
+	schedule := "symmetric"
+	if !sym {
+		schedule = "full"
+	}
+	fmt.Printf("engine=%s method=%s schedule=%s elapsed=%s\n",
+		eng, m, schedule, time.Since(start).Round(time.Millisecond))
 	for i := 0; i < mat.N; i++ {
 		for j := 0; j < mat.N; j++ {
 			fmt.Printf("%8.3f", mat.At(i, j))

@@ -33,19 +33,23 @@ func TestRunEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := run(dir, "spark", 2, "early-break", 0, 2); err != nil {
+	if err := run(dir, "spark", 2, "early-break", 0, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	// Paper-faithful full-matrix mode stays available via -sym=false.
+	if err := run(dir, "spark", 2, "early-break", 0, 2, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(t.TempDir(), "spark", 1, "naive", 0, 0); err == nil {
+	if err := run(t.TempDir(), "spark", 1, "naive", 0, 0, true); err == nil {
 		t.Error("empty directory accepted")
 	}
-	if err := run(t.TempDir(), "bogus", 1, "naive", 0, 0); err == nil {
+	if err := run(t.TempDir(), "bogus", 1, "naive", 0, 0, true); err == nil {
 		t.Error("bad engine accepted")
 	}
-	if err := run(t.TempDir(), "spark", 1, "bogus", 0, 0); err == nil {
+	if err := run(t.TempDir(), "spark", 1, "bogus", 0, 0, true); err == nil {
 		t.Error("bad method accepted")
 	}
 }

@@ -23,30 +23,38 @@ func main() {
 		len(ens), ens[0].NAtoms, ens[0].NFrames())
 
 	var reference []float64
-	fmt.Printf("%-14s %10s %8s\n", "engine", "elapsed", "agrees")
+	fmt.Printf("%-14s %-10s %10s %8s\n", "engine", "schedule", "elapsed", "agrees")
 	for _, eng := range core.Engines {
-		cfg := core.Config{Engine: eng, Parallelism: 4, Tasks: 16}
-		start := time.Now()
-		m, err := core.PSA(cfg, ens, hausdorff.EarlyBreak)
-		if err != nil {
-			log.Fatalf("%v: %v", eng, err)
-		}
-		elapsed := time.Since(start)
-		agrees := "ref"
-		if reference == nil {
-			reference = m.Data
-		} else {
-			agrees = "yes"
-			for i := range reference {
-				if math.Abs(reference[i]-m.Data[i]) > 1e-9 {
-					agrees = "NO"
-					break
+		for _, full := range []bool{true, false} {
+			schedule := "symmetric"
+			if full {
+				schedule = "full"
+			}
+			cfg := core.Config{Engine: eng, Parallelism: 4, Tasks: 16, FullMatrix: full}
+			start := time.Now()
+			m, err := core.PSA(cfg, ens, hausdorff.EarlyBreak)
+			if err != nil {
+				log.Fatalf("%v: %v", eng, err)
+			}
+			elapsed := time.Since(start)
+			agrees := "ref"
+			if reference == nil {
+				reference = m.Data
+			} else {
+				agrees = "yes"
+				for i := range reference {
+					if math.Abs(reference[i]-m.Data[i]) > 1e-9 {
+						agrees = "NO"
+						break
+					}
 				}
 			}
+			fmt.Printf("%-14s %-10s %10s %8s\n", eng, schedule, elapsed.Round(time.Millisecond), agrees)
 		}
-		fmt.Printf("%-14s %10s %8s\n", eng, elapsed.Round(time.Millisecond), agrees)
 	}
-	fmt.Println("\nall engines compute the identical distance matrix; for this")
-	fmt.Println("embarrassingly parallel analysis the paper finds programmability,")
-	fmt.Println("not engine choice, is the deciding factor (§4.2).")
+	fmt.Println("\nall engines and both schedules compute the identical distance")
+	fmt.Println("matrix; the symmetric schedule does it with ~half the Hausdorff")
+	fmt.Println("kernel invocations (H(A,B)=H(B,A)), and for this embarrassingly")
+	fmt.Println("parallel analysis the paper finds programmability, not engine")
+	fmt.Println("choice, is the deciding factor (§4.2).")
 }

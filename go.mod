@@ -1,0 +1,3 @@
+module mdtask
+
+go 1.22

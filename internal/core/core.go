@@ -67,6 +67,12 @@ type Config struct {
 	// Tasks bounds the task count of partitioned analyses (0: one task
 	// per worker for PSA, 1024 for Leaflet Finder, matching the paper).
 	Tasks int
+	// FullMatrix disables PSA's symmetry-aware scheduler and computes
+	// all N² pairs including the mirror half and the zero diagonal —
+	// the paper-faithful Algorithm 2 schedule, useful for figure
+	// reproduction. The zero value keeps the ~2× cheaper symmetric
+	// schedule, which produces bit-identical matrices.
+	FullMatrix bool
 	// PilotDir is the staging directory for EnginePilot (default: a
 	// fresh temporary directory).
 	PilotDir string
@@ -103,20 +109,21 @@ func PSA(cfg Config, ens traj.Ensemble, method hausdorff.Method) (*psa.Matrix, e
 		wantTasks = cfg.ranks()
 	}
 	n1 := psa.DefaultGroupSize(len(ens), wantTasks)
+	opts := psa.Opts{Symmetric: !cfg.FullMatrix, Method: method}
 	switch cfg.Engine {
 	case EngineSpark:
-		return psa.RunRDD(rdd.NewContext(cfg.parallelism()), ens, n1, method)
+		return psa.RunRDD(rdd.NewContext(cfg.parallelism()), ens, n1, opts)
 	case EngineDask:
-		return psa.RunDask(dask.NewClient(cfg.parallelism()), ens, n1, method)
+		return psa.RunDask(dask.NewClient(cfg.parallelism()), ens, n1, opts)
 	case EngineMPI:
-		return psa.RunMPI(cfg.ranks(), ens, n1, method)
+		return psa.RunMPI(cfg.ranks(), ens, n1, opts)
 	case EnginePilot:
 		p, cleanup, err := cfg.startPilot()
 		if err != nil {
 			return nil, err
 		}
 		defer cleanup()
-		return psa.RunPilot(p, ens, n1, method)
+		return psa.RunPilot(p, ens, n1, opts)
 	default:
 		return nil, fmt.Errorf("core: unknown engine %v", cfg.Engine)
 	}

@@ -21,26 +21,33 @@ func smallEnsemble() traj.Ensemble {
 
 func TestPSAAllEngines(t *testing.T) {
 	ens := smallEnsemble()
-	want, err := psa.Serial(ens, hausdorff.Naive)
+	want, err := psa.Serial(ens, psa.Opts{Method: hausdorff.Naive})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, eng := range Engines {
 		eng := eng
-		t.Run(eng.String(), func(t *testing.T) {
-			got, err := PSA(Config{Engine: eng, Parallelism: 4}, ens, hausdorff.Naive)
-			if err != nil {
-				t.Fatal(err)
+		for _, full := range []bool{false, true} {
+			full := full
+			name := eng.String() + "/symmetric"
+			if full {
+				name = eng.String() + "/full"
 			}
-			if got.N != want.N {
-				t.Fatalf("N = %d", got.N)
-			}
-			for i := range want.Data {
-				if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
-					t.Fatalf("element %d: %v vs %v", i, got.Data[i], want.Data[i])
+			t.Run(name, func(t *testing.T) {
+				got, err := PSA(Config{Engine: eng, Parallelism: 4, FullMatrix: full}, ens, hausdorff.Naive)
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-		})
+				if got.N != want.N {
+					t.Fatalf("N = %d", got.N)
+				}
+				for i := range want.Data {
+					if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+						t.Fatalf("element %d: %v vs %v", i, got.Data[i], want.Data[i])
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -97,7 +97,10 @@ func Distance(a, b *traj.Trajectory, m Method) float64 {
 	return DistanceFrames(fa, fb, m)
 }
 
-// DistanceFrames is Distance on raw frame views.
+// DistanceFrames is Distance on raw frame views. Empty inputs follow
+// the directed-distance convention: 0 when both sides are empty, +Inf
+// when exactly one side is empty (no frame of the non-empty side has a
+// nearest neighbour).
 func DistanceFrames(fa, fb [][]linalg.Vec3, m Method) float64 {
 	var h1, h2 float64
 	switch m {
@@ -128,11 +131,15 @@ func Matrix2DRMS(a, b [][]linalg.Vec3) []float64 {
 }
 
 // FromMatrix recovers the symmetric Hausdorff distance from a
-// precomputed na×nb frame distance matrix (row-major). It returns 0 for
-// empty matrices.
+// precomputed na×nb frame distance matrix (row-major). Empty inputs
+// follow DistanceFrames: 0 when both dimensions are empty, +Inf when
+// exactly one is.
 func FromMatrix(m []float64, na, nb int) float64 {
-	if na == 0 || nb == 0 {
+	if na == 0 && nb == 0 {
 		return 0
+	}
+	if na == 0 || nb == 0 {
+		return math.Inf(1)
 	}
 	if len(m) != na*nb {
 		panic("hausdorff: FromMatrix dimensions do not match matrix length")

@@ -105,15 +105,40 @@ func TestFromMatrixEqualsDirect(t *testing.T) {
 }
 
 func TestFromMatrixEdgeCases(t *testing.T) {
-	if got := FromMatrix(nil, 0, 5); got != 0 {
-		t.Errorf("FromMatrix empty = %v", got)
-	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("FromMatrix accepted wrong dimensions")
 		}
 	}()
 	FromMatrix(make([]float64, 5), 2, 3)
+}
+
+// Regression: FromMatrix and DistanceFrames must agree on empty inputs
+// (FromMatrix used to return 0 for half-empty matrices while
+// DistanceFrames returned +Inf).
+func TestEmptyInputConsistency(t *testing.T) {
+	ts := randTrajs(13, 1, 6, 5)
+	nonEmpty := Frames(ts[0])
+	inf := math.Inf(1)
+	cases := []struct {
+		name   string
+		fa, fb [][]linalg.Vec3
+		want   float64
+	}{
+		{"empty-A", nil, nonEmpty, inf},
+		{"empty-B", nonEmpty, nil, inf},
+		{"empty-both", nil, nil, 0},
+	}
+	for _, tc := range cases {
+		for _, m := range []Method{Naive, EarlyBreak} {
+			if got := DistanceFrames(tc.fa, tc.fb, m); got != tc.want {
+				t.Errorf("%s: DistanceFrames(%v) = %v, want %v", tc.name, m, got, tc.want)
+			}
+		}
+		if got := FromMatrix(Matrix2DRMS(tc.fa, tc.fb), len(tc.fa), len(tc.fb)); got != tc.want {
+			t.Errorf("%s: FromMatrix = %v, want %v", tc.name, got, tc.want)
+		}
+	}
 }
 
 func TestMatrix2DRMSShape(t *testing.T) {

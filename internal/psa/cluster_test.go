@@ -142,7 +142,7 @@ func TestClusterOnRealPSAMatrix(t *testing.T) {
 		}
 		ens = append(ens, c)
 	}
-	m, err := Serial(ens, 0)
+	m, err := Serial(ens, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,14 +19,14 @@ import (
 // partition per block task and a map over partitions, as the paper's
 // PySpark implementation does (§4.2: "an RDD with one partition per
 // task; tasks executed in a map function").
-func RunRDD(ctx *rdd.Context, ens traj.Ensemble, n1 int, m hausdorff.Method) (*Matrix, error) {
-	blocks, err := Partition2D(len(ens), n1)
+func RunRDD(ctx *rdd.Context, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
+	blocks, err := Partition(len(ens), n1, opts.Symmetric)
 	if err != nil {
 		return nil, err
 	}
 	r := rdd.Parallelize(ctx, blocks, len(blocks))
 	results, err := rdd.Map(r, func(b Block) (BlockResult, error) {
-		return ComputeBlock(ens, b, m), nil
+		return ComputeBlock(ens, b, opts), nil
 	}).Collect()
 	if err != nil {
 		return nil, err
@@ -37,8 +37,8 @@ func RunRDD(ctx *rdd.Context, ens traj.Ensemble, n1 int, m hausdorff.Method) (*M
 // RunDask computes PSA on the Dask-like engine: one delayed function per
 // block task, computed by the distributed scheduler (§4.2: "tasks are
 // defined as delayed functions").
-func RunDask(client *dask.Client, ens traj.Ensemble, n1 int, m hausdorff.Method) (*Matrix, error) {
-	blocks, err := Partition2D(len(ens), n1)
+func RunDask(client *dask.Client, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
+	blocks, err := Partition(len(ens), n1, opts.Symmetric)
 	if err != nil {
 		return nil, err
 	}
@@ -47,7 +47,7 @@ func RunDask(client *dask.Client, ens traj.Ensemble, n1 int, m hausdorff.Method)
 		b := b
 		nodes[i] = client.Delayed(fmt.Sprintf("psa-block-%d", i),
 			func([]interface{}) (interface{}, error) {
-				return ComputeBlock(ens, b, m), nil
+				return ComputeBlock(ens, b, opts), nil
 			})
 	}
 	vals, err := client.Compute(nodes...)
@@ -64,8 +64,8 @@ func RunDask(client *dask.Client, ens traj.Ensemble, n1 int, m hausdorff.Method)
 // RunMPI computes PSA on the MPI runtime: block tasks are statically
 // partitioned over ranks (one task per process, cycling), results are
 // gathered at rank 0.
-func RunMPI(ranks int, ens traj.Ensemble, n1 int, m hausdorff.Method) (*Matrix, error) {
-	blocks, err := Partition2D(len(ens), n1)
+func RunMPI(ranks int, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
+	blocks, err := Partition(len(ens), n1, opts.Symmetric)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +73,7 @@ func RunMPI(ranks int, ens traj.Ensemble, n1 int, m hausdorff.Method) (*Matrix, 
 	err = mpi.Run(ranks, nil, func(c *mpi.Comm) error {
 		var local []BlockResult
 		for i := c.Rank(); i < len(blocks); i += c.Size() {
-			local = append(local, ComputeBlock(ens, blocks[i], m))
+			local = append(local, ComputeBlock(ens, blocks[i], opts))
 		}
 		var bytes int64
 		for _, r := range local {
@@ -100,12 +100,15 @@ func RunMPI(ranks int, ens traj.Ensemble, n1 int, m hausdorff.Method) (*Matrix, 
 // input trajectories from staged MDT files in its sandbox and writes its
 // block of distances to an output file, which the client collects — all
 // data exchange goes through the filesystem (§3.3).
-func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, m hausdorff.Method) (*Matrix, error) {
-	blocks, err := Partition2D(len(ens), n1)
+func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
+	blocks, err := Partition(len(ens), n1, opts.Symmetric)
 	if err != nil {
 		return nil, err
 	}
 	// Serialize each trajectory once; units stage only what they read.
+	// The symmetric schedule drops every lower-triangle mirror block, so
+	// each blob shared by a (bi,bj)/(bj,bi) pair is staged once instead
+	// of twice, and a diagonal block stages its row set only once.
 	blobs := make([][]byte, len(ens))
 	for i, t := range ens {
 		b, err := encodeTraj(t)
@@ -118,32 +121,44 @@ func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, m hausdorff.Method) (*M
 	for bi, b := range blocks {
 		b := b
 		inputs := make(map[string][]byte)
-		for i := b.I0; i < b.I1; i++ {
-			inputs[fmt.Sprintf("traj-%04d.mdt", i)] = blobs[i]
-		}
-		for j := b.J0; j < b.J1; j++ {
-			inputs[fmt.Sprintf("traj-%04d.mdt", j)] = blobs[j]
+		for _, ix := range blockTrajIndices(b) {
+			inputs[trajFile(ix)] = blobs[ix]
 		}
 		descs[bi] = pilot.UnitDescription{
 			Name:        fmt.Sprintf("psa-block-%d", bi),
 			InputFiles:  inputs,
 			OutputFiles: []string{"distances.bin"},
 			Fn: func(sandbox string) error {
+				// Read each staged trajectory once per unit, not once
+				// per pair.
+				cache := make(map[int]*traj.Trajectory)
 				load := func(ix int) (*traj.Trajectory, error) {
-					return traj.ReadMDTFile(filepath.Join(sandbox, fmt.Sprintf("traj-%04d.mdt", ix)))
+					if t, ok := cache[ix]; ok {
+						return t, nil
+					}
+					t, err := traj.ReadMDTFile(filepath.Join(sandbox, trajFile(ix)))
+					if err != nil {
+						return nil, err
+					}
+					cache[ix] = t
+					return t, nil
 				}
-				vals := make([]float64, 0, b.Pairs())
+				vals := make([]float64, 0, b.TaskPairs(opts.Symmetric))
 				for i := b.I0; i < b.I1; i++ {
 					ti, err := load(i)
 					if err != nil {
 						return err
 					}
-					for j := b.J0; j < b.J1; j++ {
+					j0 := b.J0
+					if opts.Symmetric && b.Diagonal() {
+						j0 = i + 1
+					}
+					for j := j0; j < b.J1; j++ {
 						tj, err := load(j)
 						if err != nil {
 							return err
 						}
-						vals = append(vals, hausdorff.Distance(ti, tj, m))
+						vals = append(vals, hausdorff.Distance(ti, tj, opts.Method))
 					}
 				}
 				return os.WriteFile(filepath.Join(sandbox, "distances.bin"), encodeFloats(vals), 0o644)
@@ -167,12 +182,30 @@ func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, m hausdorff.Method) (*M
 		if err != nil {
 			return nil, fmt.Errorf("psa: unit %d: %w", u.ID, err)
 		}
-		if len(vals) != blocks[i].Pairs() {
-			return nil, fmt.Errorf("psa: unit %d returned %d values, want %d", u.ID, len(vals), blocks[i].Pairs())
+		if want := blocks[i].TaskPairs(opts.Symmetric); len(vals) != want {
+			return nil, fmt.Errorf("psa: unit %d returned %d values, want %d", u.ID, len(vals), want)
 		}
-		results[i] = BlockResult{Block: blocks[i], Values: vals}
+		results[i] = BlockResult{Block: blocks[i], Values: vals, Symmetric: opts.Symmetric}
 	}
 	return Assemble(len(ens), results), nil
+}
+
+// trajFile names a staged trajectory blob inside a unit sandbox.
+func trajFile(ix int) string { return fmt.Sprintf("traj-%04d.mdt", ix) }
+
+// blockTrajIndices lists the distinct trajectory indices a block reads:
+// its row range plus whatever of its column range does not overlap it.
+func blockTrajIndices(b Block) []int {
+	out := make([]int, 0, (b.I1-b.I0)+(b.J1-b.J0))
+	for i := b.I0; i < b.I1; i++ {
+		out = append(out, i)
+	}
+	for j := b.J0; j < b.J1; j++ {
+		if j < b.I0 || j >= b.I1 {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 // encodeTraj serializes a trajectory to MDT bytes.

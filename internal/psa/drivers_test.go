@@ -10,87 +10,134 @@ import (
 	"mdtask/internal/rdd"
 )
 
-// All engine drivers must produce exactly the serial reference matrix.
+// testPilot brings up a fast-polling pilot for driver tests.
+func testPilot(t *testing.T) *pilot.Pilot {
+	t.Helper()
+	cfg := pilot.Config{
+		DBLatency:          50 * time.Microsecond,
+		AgentPollInterval:  500 * time.Microsecond,
+		ClientPollInterval: 500 * time.Microsecond,
+	}
+	p, err := pilot.NewPilot(4, t.TempDir(), pilot.NewDB(cfg.DBLatency), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	return p
+}
+
+// All engine drivers must produce exactly the serial reference matrix
+// under both the full-matrix and the symmetry-aware schedule. Pilot
+// round-trips coordinates through MDT files at float64 precision, so
+// even its results are exact.
 func TestDriversMatchSerial(t *testing.T) {
 	ens := testEnsemble(6, 7, 5)
-	want, err := Serial(ens, hausdorff.Naive)
+	want, err := Serial(ens, Opts{Method: hausdorff.Naive})
 	if err != nil {
 		t.Fatal(err)
 	}
 	const n1 = 2
+	for _, sym := range []bool{false, true} {
+		opts := Opts{Symmetric: sym, Method: hausdorff.Naive}
+		name := func(engine string) string {
+			if sym {
+				return engine + "/symmetric"
+			}
+			return engine + "/full"
+		}
+		t.Run(name("rdd"), func(t *testing.T) {
+			got, err := RunRDD(rdd.NewContext(4), ens, n1, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matricesEqual(got, want, 0) {
+				t.Fatal("rdd matrix != serial")
+			}
+		})
+		t.Run(name("dask"), func(t *testing.T) {
+			got, err := RunDask(dask.NewClient(4), ens, n1, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matricesEqual(got, want, 0) {
+				t.Fatal("dask matrix != serial")
+			}
+		})
+		t.Run(name("mpi"), func(t *testing.T) {
+			got, err := RunMPI(4, ens, n1, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matricesEqual(got, want, 0) {
+				t.Fatal("mpi matrix != serial")
+			}
+		})
+		t.Run(name("pilot"), func(t *testing.T) {
+			got, err := RunPilot(testPilot(t), ens, n1, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matricesEqual(got, want, 0) {
+				t.Fatal("pilot matrix != serial")
+			}
+		})
+	}
+}
 
-	t.Run("rdd", func(t *testing.T) {
-		got, err := RunRDD(rdd.NewContext(4), ens, n1, hausdorff.Naive)
+// The symmetric pilot schedule must not stage blobs for mirror blocks:
+// total staged inputs drop from N²/n1 (every block stages its rows and
+// columns) to roughly half.
+func TestPilotSymmetricStagesFewerBlobs(t *testing.T) {
+	const n, n1 = 6, 2
+	staged := func(sym bool) int {
+		blocks, err := Partition(n, n1, sym)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !matricesEqual(got, want, 0) {
-			t.Fatal("rdd matrix != serial")
+		total := 0
+		for _, b := range blocks {
+			total += len(blockTrajIndices(b))
 		}
-	})
-	t.Run("dask", func(t *testing.T) {
-		got, err := RunDask(dask.NewClient(4), ens, n1, hausdorff.Naive)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !matricesEqual(got, want, 0) {
-			t.Fatal("dask matrix != serial")
-		}
-	})
-	t.Run("mpi", func(t *testing.T) {
-		got, err := RunMPI(4, ens, n1, hausdorff.Naive)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !matricesEqual(got, want, 0) {
-			t.Fatal("mpi matrix != serial")
-		}
-	})
-	t.Run("pilot", func(t *testing.T) {
-		cfg := pilot.Config{
-			DBLatency:          50 * time.Microsecond,
-			AgentPollInterval:  500 * time.Microsecond,
-			ClientPollInterval: 500 * time.Microsecond,
-		}
-		p, err := pilot.NewPilot(4, t.TempDir(), pilot.NewDB(cfg.DBLatency), cfg, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer p.Shutdown()
-		got, err := RunPilot(p, ens, n1, hausdorff.Naive)
-		if err != nil {
-			t.Fatal(err)
-		}
-		// Pilot round-trips coordinates through MDT files at float64
-		// precision, so results are exact.
-		if !matricesEqual(got, want, 0) {
-			t.Fatal("pilot matrix != serial")
-		}
-	})
+		return total
+	}
+	full, sym := staged(false), staged(true)
+	if sym >= full {
+		t.Fatalf("symmetric schedule stages %d blobs, full stages %d", sym, full)
+	}
+	// k=3: full = 9 blocks × 4 each minus diagonal overlap = 9×4−3×2;
+	// symmetric = 6 blocks, diagonal ones staging their rows once.
+	if want := 3*2 + 3*4; sym != want {
+		t.Fatalf("symmetric schedule stages %d blobs, want %d", sym, want)
+	}
 }
 
 func TestDriversEarlyBreakMethod(t *testing.T) {
 	ens := testEnsemble(4, 6, 4)
-	want, _ := Serial(ens, hausdorff.Naive) // early-break is exact
-	got, err := RunRDD(rdd.NewContext(2), ens, 2, hausdorff.EarlyBreak)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !matricesEqual(got, want, 0) {
-		t.Fatal("early-break result differs")
+	want, _ := Serial(ens, Opts{Method: hausdorff.Naive}) // early-break is exact
+	for _, sym := range []bool{false, true} {
+		got, err := RunRDD(rdd.NewContext(2), ens, 2, Opts{Symmetric: sym, Method: hausdorff.EarlyBreak})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matricesEqual(got, want, 0) {
+			t.Fatalf("early-break result differs (sym=%v)", sym)
+		}
 	}
 }
 
 func TestDriversRejectBadGroupSize(t *testing.T) {
 	ens := testEnsemble(4, 5, 3)
-	if _, err := RunRDD(rdd.NewContext(2), ens, 3, hausdorff.Naive); err == nil {
-		t.Error("rdd accepted non-divisor group size")
-	}
-	if _, err := RunDask(dask.NewClient(2), ens, 3, hausdorff.Naive); err == nil {
-		t.Error("dask accepted non-divisor group size")
-	}
-	if _, err := RunMPI(2, ens, 3, hausdorff.Naive); err == nil {
-		t.Error("mpi accepted non-divisor group size")
+	for _, sym := range []bool{false, true} {
+		opts := Opts{Symmetric: sym, Method: hausdorff.Naive}
+		if _, err := RunRDD(rdd.NewContext(2), ens, 3, opts); err == nil {
+			t.Errorf("rdd accepted non-divisor group size (sym=%v)", sym)
+		}
+		if _, err := RunDask(dask.NewClient(2), ens, 3, opts); err == nil {
+			t.Errorf("dask accepted non-divisor group size (sym=%v)", sym)
+		}
+		if _, err := RunMPI(2, ens, 3, opts); err == nil {
+			t.Errorf("mpi accepted non-divisor group size (sym=%v)", sym)
+		}
 	}
 }
 

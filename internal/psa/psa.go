@@ -30,6 +30,18 @@ func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
 // Set assigns element (i, j).
 func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
 
+// Opts selects how the distance matrix is scheduled and computed.
+type Opts struct {
+	// Symmetric exploits H(A,B) = H(B,A): only diagonal and
+	// upper-triangle blocks are scheduled, diagonal blocks skip the zero
+	// self-distances and the j<i mirror pairs, and Assemble reflects
+	// every value into the lower triangle. Roughly halves the kernel
+	// work versus the paper-faithful full N×N schedule.
+	Symmetric bool
+	// Method selects the Hausdorff inner-loop algorithm.
+	Method hausdorff.Method
+}
+
 // Block is one task of the 2-D partitioning: the sub-matrix
 // [I0,I1) × [J0,J1) of the output distance matrix (Algorithm 2: an
 // n1×n1 group of pairwise comparisons executed serially).
@@ -39,6 +51,21 @@ type Block struct {
 
 // Pairs returns the number of trajectory comparisons in the block.
 func (b Block) Pairs() int { return (b.I1 - b.I0) * (b.J1 - b.J0) }
+
+// Diagonal reports whether the block lies on the matrix diagonal
+// (identical row and column ranges).
+func (b Block) Diagonal() bool { return b.I0 == b.J0 && b.I1 == b.J1 }
+
+// TaskPairs returns the number of Hausdorff evaluations a block costs
+// under the given scheduling: symmetric diagonal blocks compute only
+// their strict upper triangle.
+func (b Block) TaskPairs(symmetric bool) int {
+	if symmetric && b.Diagonal() {
+		n := b.I1 - b.I0
+		return n * (n - 1) / 2
+	}
+	return b.Pairs()
+}
 
 // Partition2D maps the N² distances onto (N/n1)² block tasks
 // (Algorithm 2). n1 must be a positive divisor of N.
@@ -59,33 +86,100 @@ func Partition2D(n, n1 int) ([]Block, error) {
 	return blocks, nil
 }
 
+// PartitionTriangular maps the distance matrix onto only its diagonal
+// and upper-triangle blocks — (N/n1)·(N/n1+1)/2 tasks instead of
+// Algorithm 2's (N/n1)². Each omitted lower-triangle block is recovered
+// by Assemble mirroring its transpose. n1 must be a positive divisor
+// of N.
+func PartitionTriangular(n, n1 int) ([]Block, error) {
+	if n1 <= 0 || n%n1 != 0 {
+		return nil, fmt.Errorf("psa: group size %d must be a positive divisor of N=%d", n1, n)
+	}
+	k := n / n1
+	blocks := make([]Block, 0, k*(k+1)/2)
+	for bi := 0; bi < k; bi++ {
+		for bj := bi; bj < k; bj++ {
+			blocks = append(blocks, Block{
+				I0: bi * n1, I1: (bi + 1) * n1,
+				J0: bj * n1, J1: (bj + 1) * n1,
+			})
+		}
+	}
+	return blocks, nil
+}
+
+// Partition returns the block schedule for the given options: the
+// triangular schedule when symmetric, Algorithm 2's full grid otherwise.
+func Partition(n, n1 int, symmetric bool) ([]Block, error) {
+	if symmetric {
+		return PartitionTriangular(n, n1)
+	}
+	return Partition2D(n, n1)
+}
+
 // BlockResult carries one computed block back to the assembler.
 type BlockResult struct {
 	Block Block
-	// Values is row-major over the block: (I1-I0)×(J1-J0).
+	// Values is row-major over the block: (I1-I0)×(J1-J0) entries —
+	// except for a Symmetric diagonal block, where it holds only the
+	// strict upper triangle packed row-major (i ranging over rows,
+	// j over i+1..J1).
 	Values []float64
+	// Symmetric marks a block computed under the symmetry-aware
+	// schedule: Assemble mirrors its values into the transposed
+	// position, and a diagonal block's Values are triangle-packed.
+	Symmetric bool
 }
 
-// ComputeBlock evaluates every Hausdorff distance of one block serially
-// (the task body shared by all engine drivers).
-func ComputeBlock(ens traj.Ensemble, b Block, m hausdorff.Method) BlockResult {
-	vals := make([]float64, 0, b.Pairs())
+// ComputeBlock evaluates the Hausdorff distances of one block serially
+// (the task body shared by all engine drivers). Under opts.Symmetric a
+// diagonal block computes only its strict upper triangle — the zero
+// self-distances and the mirror pairs are skipped.
+func ComputeBlock(ens traj.Ensemble, b Block, opts Opts) BlockResult {
+	vals := make([]float64, 0, b.TaskPairs(opts.Symmetric))
+	skipMirror := opts.Symmetric && b.Diagonal()
 	for i := b.I0; i < b.I1; i++ {
-		for j := b.J0; j < b.J1; j++ {
-			vals = append(vals, hausdorff.Distance(ens[i], ens[j], m))
+		j0 := b.J0
+		if skipMirror {
+			j0 = i + 1
+		}
+		for j := j0; j < b.J1; j++ {
+			vals = append(vals, hausdorff.Distance(ens[i], ens[j], opts.Method))
 		}
 	}
-	return BlockResult{Block: b, Values: vals}
+	return BlockResult{Block: b, Values: vals, Symmetric: opts.Symmetric}
 }
 
-// Assemble writes block results into the full matrix.
+// Assemble writes block results into the full matrix, mirroring
+// symmetric results into the lower triangle.
 func Assemble(n int, results []BlockResult) *Matrix {
 	m := NewMatrix(n)
 	for _, r := range results {
-		w := r.Block.J1 - r.Block.J0
-		for i := r.Block.I0; i < r.Block.I1; i++ {
-			row := r.Values[(i-r.Block.I0)*w : (i-r.Block.I0+1)*w]
-			copy(m.Data[i*n+r.Block.J0:i*n+r.Block.J1], row)
+		b := r.Block
+		switch {
+		case r.Symmetric:
+			// Values are packed in ComputeBlock's iteration order:
+			// diagonal blocks hold only their strict upper triangle.
+			skipMirror := b.Diagonal()
+			k := 0
+			for i := b.I0; i < b.I1; i++ {
+				j0 := b.J0
+				if skipMirror {
+					j0 = i + 1
+				}
+				for j := j0; j < b.J1; j++ {
+					v := r.Values[k]
+					k++
+					m.Set(i, j, v)
+					m.Set(j, i, v)
+				}
+			}
+		default:
+			w := b.J1 - b.J0
+			for i := b.I0; i < b.I1; i++ {
+				row := r.Values[(i-b.I0)*w : (i-b.I0+1)*w]
+				copy(m.Data[i*n+b.J0:i*n+b.J1], row)
+			}
 		}
 	}
 	return m
@@ -93,14 +187,27 @@ func Assemble(n int, results []BlockResult) *Matrix {
 
 // Serial computes the full PSA distance matrix on one goroutine: the
 // reference implementation every engine driver is validated against.
-func Serial(ens traj.Ensemble, m hausdorff.Method) (*Matrix, error) {
+// Under opts.Symmetric each unordered pair is evaluated once and
+// mirrored; the result is bit-identical to the full scan because the
+// Hausdorff distance is exactly symmetric.
+func Serial(ens traj.Ensemble, opts Opts) (*Matrix, error) {
 	if err := ens.Validate(); err != nil {
 		return nil, err
 	}
 	out := NewMatrix(len(ens))
+	if opts.Symmetric {
+		for i := range ens {
+			for j := i + 1; j < len(ens); j++ {
+				d := hausdorff.Distance(ens[i], ens[j], opts.Method)
+				out.Set(i, j, d)
+				out.Set(j, i, d)
+			}
+		}
+		return out, nil
+	}
 	for i := range ens {
 		for j := range ens {
-			out.Set(i, j, hausdorff.Distance(ens[i], ens[j], m))
+			out.Set(i, j, hausdorff.Distance(ens[i], ens[j], opts.Method))
 		}
 	}
 	return out, nil

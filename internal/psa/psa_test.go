@@ -53,6 +53,78 @@ func TestPartition2DRejectsBadGroupSize(t *testing.T) {
 		if _, err := Partition2D(8, n1); err == nil {
 			t.Errorf("n1=%d accepted for N=8", n1)
 		}
+		if _, err := PartitionTriangular(8, n1); err == nil {
+			t.Errorf("triangular: n1=%d accepted for N=8", n1)
+		}
+	}
+}
+
+// The triangular schedule must cover every unordered pair exactly once:
+// each (i, j) with i < j appears in exactly one block's range, and no
+// block lies strictly below the diagonal.
+func TestPartitionTriangularCoversUpperPairs(t *testing.T) {
+	for _, tc := range []struct{ n, n1 int }{{8, 2}, {8, 4}, {8, 8}, {6, 1}, {12, 3}} {
+		blocks, err := PartitionTriangular(tc.n, tc.n1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := tc.n / tc.n1
+		if want := k * (k + 1) / 2; len(blocks) != want {
+			t.Fatalf("n=%d n1=%d: %d blocks, want %d", tc.n, tc.n1, len(blocks), want)
+		}
+		covered := make(map[[2]int]int)
+		for _, b := range blocks {
+			if b.J0 < b.I0 {
+				t.Fatalf("block %+v lies below the diagonal", b)
+			}
+			for i := b.I0; i < b.I1; i++ {
+				j0 := b.J0
+				if b.Diagonal() {
+					j0 = i + 1
+				}
+				for j := j0; j < b.J1; j++ {
+					covered[[2]int{i, j}]++
+				}
+			}
+		}
+		for i := 0; i < tc.n; i++ {
+			for j := i + 1; j < tc.n; j++ {
+				if covered[[2]int{i, j}] != 1 {
+					t.Fatalf("pair (%d,%d) covered %d times", i, j, covered[[2]int{i, j}])
+				}
+			}
+		}
+	}
+}
+
+// The symmetric schedule does k(k+1)/2 − k·n1-ish of the full grid's k²
+// kernel evaluations: just over half the work, approaching exactly half
+// as N grows.
+func TestTaskPairsSymmetricHalvesWork(t *testing.T) {
+	const n, n1 = 24, 4
+	full, err := Partition2D(n, n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := PartitionTriangular(n, n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullPairs, triPairs := 0, 0
+	for _, b := range full {
+		fullPairs += b.TaskPairs(false)
+	}
+	for _, b := range tri {
+		triPairs += b.TaskPairs(true)
+	}
+	if fullPairs != n*n {
+		t.Fatalf("full schedule evaluates %d pairs, want %d", fullPairs, n*n)
+	}
+	if want := n * (n - 1) / 2; triPairs != want {
+		t.Fatalf("symmetric schedule evaluates %d pairs, want %d", triPairs, want)
+	}
+	if ratio := float64(triPairs) / float64(fullPairs); ratio > 0.5 {
+		t.Fatalf("symmetric/full pair ratio = %.3f, want <= 0.5", ratio)
 	}
 }
 
@@ -78,7 +150,7 @@ func TestDefaultGroupSize(t *testing.T) {
 
 func TestSerialProperties(t *testing.T) {
 	ens := testEnsemble(5, 6, 4)
-	m, err := Serial(ens, hausdorff.Naive)
+	m, err := Serial(ens, Opts{Method: hausdorff.Naive})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,14 +171,14 @@ func TestSerialProperties(t *testing.T) {
 
 func TestComputeBlockAndAssemble(t *testing.T) {
 	ens := testEnsemble(4, 5, 3)
-	want, _ := Serial(ens, hausdorff.Naive)
+	want, _ := Serial(ens, Opts{Method: hausdorff.Naive})
 	blocks, err := Partition2D(4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	results := make([]BlockResult, len(blocks))
 	for i, b := range blocks {
-		results[i] = ComputeBlock(ens, b, hausdorff.Naive)
+		results[i] = ComputeBlock(ens, b, Opts{Method: hausdorff.Naive})
 		if len(results[i].Values) != b.Pairs() {
 			t.Fatalf("block %d: %d values, want %d", i, len(results[i].Values), b.Pairs())
 		}
@@ -114,6 +186,90 @@ func TestComputeBlockAndAssemble(t *testing.T) {
 	got := Assemble(4, results)
 	if !matricesEqual(got, want, 0) {
 		t.Fatal("assembled matrix != serial")
+	}
+}
+
+// ComputeBlock and Assemble must handle blocks of any shape: ragged
+// (non-square) blocks, 1×1 blocks, and diagonal blocks (I0==J0) under
+// both schedules — including 1×1 diagonal blocks, whose symmetric
+// result is empty (the self-distance is implied zero).
+func TestComputeBlockShapes(t *testing.T) {
+	ens := testEnsemble(5, 4, 3)
+	want, _ := Serial(ens, Opts{Method: hausdorff.Naive})
+	for _, sym := range []bool{false, true} {
+		opts := Opts{Symmetric: sym, Method: hausdorff.Naive}
+		for _, b := range []Block{
+			{I0: 0, I1: 3, J0: 3, J1: 5}, // ragged 3×2 off-diagonal
+			{I0: 1, I1: 2, J0: 4, J1: 5}, // 1×1 off-diagonal
+			{I0: 1, I1: 4, J0: 1, J1: 4}, // 3×3 diagonal
+			{I0: 2, I1: 3, J0: 2, J1: 3}, // 1×1 diagonal
+		} {
+			r := ComputeBlock(ens, b, opts)
+			if len(r.Values) != b.TaskPairs(sym) {
+				t.Fatalf("sym=%v block %+v: %d values, want %d", sym, b, len(r.Values), b.TaskPairs(sym))
+			}
+			got := Assemble(5, []BlockResult{r})
+			for i := b.I0; i < b.I1; i++ {
+				for j := b.J0; j < b.J1; j++ {
+					if i == j {
+						continue // symmetric diagonal blocks imply the zero
+					}
+					if got.At(i, j) != want.At(i, j) {
+						t.Fatalf("sym=%v block %+v: (%d,%d) = %v, want %v",
+							sym, b, i, j, got.At(i, j), want.At(i, j))
+					}
+					if sym && got.At(j, i) != want.At(j, i) {
+						t.Fatalf("sym=%v block %+v: mirror (%d,%d) not assembled", sym, b, j, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property test: for several (n, n1) pairs and both schedules,
+// assembling the partition's computed blocks reproduces Serial exactly.
+func TestAssemblePartitionEqualsSerial(t *testing.T) {
+	for _, tc := range []struct{ n, n1 int }{{4, 1}, {4, 2}, {6, 3}, {6, 6}, {8, 2}, {9, 3}} {
+		ens := testEnsemble(tc.n, 4, 3)
+		want, err := Serial(ens, Opts{Method: hausdorff.Naive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sym := range []bool{false, true} {
+			opts := Opts{Symmetric: sym, Method: hausdorff.Naive}
+			blocks, err := Partition(tc.n, tc.n1, sym)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results := make([]BlockResult, len(blocks))
+			for i, b := range blocks {
+				results[i] = ComputeBlock(ens, b, opts)
+			}
+			if got := Assemble(tc.n, results); !matricesEqual(got, want, 0) {
+				t.Fatalf("n=%d n1=%d sym=%v: assembled matrix != serial", tc.n, tc.n1, sym)
+			}
+		}
+	}
+}
+
+// Symmetric Serial must be bit-identical to the full scan, not just
+// close: the Hausdorff distance is exactly symmetric and the diagonal
+// exactly zero.
+func TestSerialSymmetricBitIdentical(t *testing.T) {
+	ens := testEnsemble(6, 5, 4)
+	for _, m := range []hausdorff.Method{hausdorff.Naive, hausdorff.EarlyBreak} {
+		full, err := Serial(ens, Opts{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sym, err := Serial(ens, Opts{Symmetric: true, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matricesEqual(sym, full, 0) {
+			t.Fatalf("method %v: symmetric serial differs from full", m)
+		}
 	}
 }
 
@@ -130,7 +286,7 @@ func matricesEqual(a, b *Matrix, tol float64) bool {
 }
 
 func TestSerialRejectsInvalidEnsemble(t *testing.T) {
-	if _, err := Serial(traj.Ensemble{nil}, hausdorff.Naive); err == nil {
+	if _, err := Serial(traj.Ensemble{nil}, Opts{Method: hausdorff.Naive}); err == nil {
 		t.Fatal("nil member accepted")
 	}
 }
