@@ -1,12 +1,43 @@
 GO ?= go
+SERVE_ADDR ?= :8077
+SMOKE_PORT ?= 18077
 
-.PHONY: build test bench fmt vet
+.PHONY: build test bench fmt vet serve smoke-serve
 
 build:
 	$(GO) build ./...
 
 test: build
 	$(GO) test ./...
+
+# Run the analysis job server (cmd/mdserver) in the foreground.
+serve:
+	$(GO) run ./cmd/mdserver -addr $(SERVE_ADDR)
+
+# CI smoke: build mdserver, start it, hit /healthz, submit a tiny synth
+# PSA job, poll it to completion and assert a 200 result.
+smoke-serve:
+	$(GO) build -o /tmp/mdserver ./cmd/mdserver
+	@set -e; \
+	/tmp/mdserver -addr 127.0.0.1:$(SMOKE_PORT) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+	  curl -fsS http://127.0.0.1:$(SMOKE_PORT)/healthz >/dev/null 2>&1 && break; \
+	  sleep 0.1; \
+	done; \
+	curl -fsS http://127.0.0.1:$(SMOKE_PORT)/healthz; echo; \
+	id=$$(curl -fsS -X POST http://127.0.0.1:$(SMOKE_PORT)/v1/jobs \
+	  -d '{"analysis":"psa","engine":"dask","synth":{"count":3,"atoms":8,"frames":4}}' | jq -r .id); \
+	echo "submitted $$id"; \
+	for i in $$(seq 1 100); do \
+	  state=$$(curl -fsS http://127.0.0.1:$(SMOKE_PORT)/v1/jobs/$$id | jq -r .state); \
+	  [ "$$state" = "done" ] && break; \
+	  [ "$$state" = "failed" ] && { echo "job failed" >&2; exit 1; }; \
+	  sleep 0.1; \
+	done; \
+	[ "$$state" = "done" ] || { echo "job stuck in $$state" >&2; exit 1; }; \
+	curl -fsS -o /dev/null -w '%{http_code}\n' http://127.0.0.1:$(SMOKE_PORT)/v1/jobs/$$id/result | grep -q 200; \
+	echo "smoke-serve OK"
 
 bench:
 	$(GO) test -bench PSA -run '^$$' ./internal/bench/

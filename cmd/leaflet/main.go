@@ -1,11 +1,14 @@
 // Command leaflet runs the Leaflet Finder over a membrane snapshot (a
 // single-frame .mdt file, or a generated bilayer) on a selectable engine
-// and architectural approach, reporting the identified leaflets.
+// and architectural approach, reporting the identified leaflets. The run
+// is dispatched through the jobs.Registry — the same runners
+// cmd/mdserver serves over HTTP.
 //
 // Usage:
 //
 //	leaflet -atoms 65536 -engine spark -approach tree
 //	leaflet -in membrane.mdt -engine mpi -approach 3
+//	leaflet -atoms 4096 -engine serial
 package main
 
 import (
@@ -14,11 +17,8 @@ import (
 	"os"
 	"time"
 
-	"mdtask/internal/core"
-	"mdtask/internal/leaflet"
-	"mdtask/internal/linalg"
+	"mdtask/internal/jobs"
 	"mdtask/internal/synth"
-	"mdtask/internal/traj"
 )
 
 func main() {
@@ -26,7 +26,7 @@ func main() {
 		in       = flag.String("in", "", "single-frame .mdt membrane file (default: generate)")
 		atoms    = flag.Int("atoms", 65536, "atom count when generating a membrane")
 		seed     = flag.Uint64("seed", 42, "generator seed")
-		engine   = flag.String("engine", "spark", "engine: mpi | spark | dask | pilot")
+		engine   = flag.String("engine", "spark", "engine: serial | mpi | spark | dask | pilot")
 		approach = flag.String("approach", "tree", "approach: 1|broadcast, 2|task2d, 3|parallel-cc, 4|tree")
 		cutoff   = flag.Float64("cutoff", synth.BilayerCutoff, "neighbor cutoff (Å)")
 		parallel = flag.Int("parallel", 0, "worker/rank count (0: automatic)")
@@ -39,72 +39,37 @@ func main() {
 	}
 }
 
-func parseApproach(s string) (leaflet.Approach, error) {
-	switch s {
-	case "1", "broadcast":
-		return leaflet.Broadcast1D, nil
-	case "2", "task2d":
-		return leaflet.TaskAPI2D, nil
-	case "3", "parallel-cc":
-		return leaflet.ParallelCC, nil
-	case "4", "tree":
-		return leaflet.TreeSearch, nil
-	default:
-		return 0, fmt.Errorf("unknown approach %q", s)
-	}
-}
-
-func parseEngine(s string) (core.Engine, error) {
-	switch s {
-	case "mpi":
-		return core.EngineMPI, nil
-	case "spark":
-		return core.EngineSpark, nil
-	case "dask":
-		return core.EngineDask, nil
-	case "pilot":
-		return core.EnginePilot, nil
-	default:
-		return 0, fmt.Errorf("unknown engine %q (want mpi|spark|dask|pilot)", s)
-	}
-}
-
 func run(in string, atoms int, seed uint64, engineName, approachName string,
 	cutoff float64, parallel, tasks int) error {
-	eng, err := parseEngine(engineName)
-	if err != nil {
-		return err
+	spec := jobs.Spec{
+		Analysis:    jobs.AnalysisLeaflet,
+		Engine:      engineName,
+		Parallelism: parallel,
+		Tasks:       tasks,
+		Approach:    approachName,
+		Cutoff:      cutoff,
 	}
-	app, err := parseApproach(approachName)
-	if err != nil {
-		return err
-	}
-	var coords []linalg.Vec3
 	if in != "" {
-		t, err := traj.ReadMDTFile(in)
-		if err != nil {
-			return err
-		}
-		if t.NFrames() == 0 {
-			return fmt.Errorf("%s contains no frames", in)
-		}
-		coords = t.FrameCoords(0)
-		fmt.Printf("loaded %s: %d atoms\n", in, len(coords))
+		spec.Path = in
 	} else {
-		sys := synth.Bilayer(atoms, seed)
-		coords = sys.Coords
-		fmt.Printf("generated bilayer: %d atoms, cutoff %.1f Å\n", len(coords), cutoff)
+		spec.Synth = &jobs.SynthSpec{Atoms: atoms, Seed: seed}
 	}
-
-	cfg := core.Config{Engine: eng, Parallelism: parallel, Tasks: tasks}
-	start := time.Now()
-	res, err := core.LeafletFinder(cfg, coords, cutoff, app)
+	norm, input, err := jobs.Resolve(spec)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-
-	fmt.Printf("engine=%s approach=%q elapsed=%s\n", eng, app, elapsed.Round(time.Millisecond))
+	if in != "" {
+		fmt.Printf("loaded %s: %d atoms\n", in, len(input.Coords))
+	} else {
+		fmt.Printf("generated bilayer: %d atoms, cutoff %.1f Å\n", len(input.Coords), cutoff)
+	}
+	start := time.Now()
+	out, _, err := jobs.Run(jobs.DefaultRegistry(), norm, input)
+	if err != nil {
+		return err
+	}
+	res := out.Leaflet
+	fmt.Printf("engine=%s approach=%q elapsed=%s\n", engineName, approachName, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("tasks=%d edges=%d broadcast=%dB shuffle=%dB\n",
 		res.Stats.Tasks, res.Stats.Edges, res.Stats.BroadcastBytes, res.Stats.ShuffleBytes)
 	fmt.Printf("components: %d\n", len(res.Components))

@@ -4,31 +4,19 @@ import (
 	"path/filepath"
 	"testing"
 
-	"mdtask/internal/leaflet"
 	"mdtask/internal/synth"
 	"mdtask/internal/traj"
 )
 
-func TestParseApproach(t *testing.T) {
-	cases := map[string]leaflet.Approach{
-		"1": leaflet.Broadcast1D, "broadcast": leaflet.Broadcast1D,
-		"2": leaflet.TaskAPI2D, "task2d": leaflet.TaskAPI2D,
-		"3": leaflet.ParallelCC, "parallel-cc": leaflet.ParallelCC,
-		"4": leaflet.TreeSearch, "tree": leaflet.TreeSearch,
-	}
-	for name, want := range cases {
-		got, err := parseApproach(name)
-		if err != nil || got != want {
-			t.Errorf("parseApproach(%q) = %v, %v", name, got, err)
-		}
-	}
-	if _, err := parseApproach("5"); err == nil {
-		t.Error("unknown approach accepted")
+func TestRunGenerated(t *testing.T) {
+	if err := run("", 2000, 1, "spark", "tree", synth.BilayerCutoff, 2, 16); err != nil {
+		t.Fatal(err)
 	}
 }
 
-func TestRunGenerated(t *testing.T) {
-	if err := run("", 2000, 1, "spark", "tree", synth.BilayerCutoff, 2, 16); err != nil {
+func TestRunSerialEngine(t *testing.T) {
+	// The registry adds a serial engine to the CLI's historical four.
+	if err := run("", 2000, 1, "serial", "tree", synth.BilayerCutoff, 1, 16); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,91 @@
+// Command mdserver is the long-running analysis job service: a JSON
+// HTTP API that accepts PSA and Leaflet Finder jobs, schedules them
+// across the five engines (serial, spark, dask, mpi, pilot) through a
+// bounded FIFO queue, and serves identical resubmissions from a
+// content-addressed result cache.
+//
+// Usage:
+//
+//	mdserver -addr :8077 -workers 2 -queue 64 -cache 128
+//
+// Endpoints:
+//
+//	POST   /v1/jobs              submit a job
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         status + progress + metrics
+//	GET    /v1/jobs/{id}/result  result of a done job
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/metrics           service-wide metrics
+//	GET    /healthz              liveness probe
+//
+// Example:
+//
+//	curl -s localhost:8077/v1/jobs -d \
+//	  '{"analysis":"psa","engine":"dask","synth":{"count":4,"atoms":16,"frames":8}}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mdtask/internal/jobs"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8077", "listen address")
+		workers = flag.Int("workers", 2, "concurrent job limit")
+		queue   = flag.Int("queue", 64, "queued-job limit")
+		cache   = flag.Int("cache", 128, "result-cache entries")
+		retain  = flag.Int("retain", 4096, "finished-job records retained (oldest evicted beyond this)")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cache, *retain); err != nil {
+		fmt.Fprintln(os.Stderr, "mdserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cache, retain int) error {
+	sched := jobs.NewScheduler(jobs.DefaultRegistry(), jobs.Options{
+		Workers:      workers,
+		QueueDepth:   queue,
+		CacheEntries: cache,
+		MaxJobs:      retain,
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           jobs.NewServer(sched),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mdserver listening on %s (workers=%d queue=%d cache=%d)", addr, workers, queue, cache)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("mdserver shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	sched.Close()
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mdtask/internal/jobs"
+)
+
+// TestServerSmoke is the in-process version of the CI smoke step:
+// bring the service up, check /healthz, submit a tiny synth PSA job,
+// poll it to completion, and fetch the result.
+func TestServerSmoke(t *testing.T) {
+	sched := jobs.NewScheduler(jobs.DefaultRegistry(), jobs.Options{Workers: 1})
+	defer sched.Close()
+	ts := httptest.NewServer(jobs.NewServer(sched))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	body := `{"analysis":"psa","engine":"dask","synth":{"count":3,"atoms":8,"frames":4}}`
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: got %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", st.ID, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if st.State != jobs.StateDone {
+		t.Fatalf("job finished %s (error %q)", st.State, st.Error)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: got %d", resp.StatusCode)
+	}
+	var res jobs.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrix == nil || res.Matrix.N != 3 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}

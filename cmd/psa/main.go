@@ -1,10 +1,13 @@
 // Command psa runs Path Similarity Analysis (all-pairs Hausdorff
 // distances) over a directory of .mdt trajectories on a selectable
-// task-parallel engine and prints the distance matrix.
+// task-parallel engine and prints the distance matrix. The run is
+// dispatched through the jobs.Registry — the same runners cmd/mdserver
+// serves over HTTP.
 //
 // Usage:
 //
 //	psa -in data/ -engine dask -parallel 8 -method early-break
+//	psa -in data/ -engine serial           # single-goroutine reference
 //	psa -in data/ -engine mpi -sym=false   # paper-faithful full N×N schedule
 package main
 
@@ -12,20 +15,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
 	"time"
 
-	"mdtask/internal/core"
-	"mdtask/internal/hausdorff"
+	"mdtask/internal/jobs"
 	"mdtask/internal/psa"
-	"mdtask/internal/traj"
 )
 
 func main() {
 	var (
 		in       = flag.String("in", ".", "directory of .mdt trajectory files")
-		engine   = flag.String("engine", "dask", "engine: mpi | spark | dask | pilot")
+		engine   = flag.String("engine", "dask", "engine: serial | mpi | spark | dask | pilot")
 		parallel = flag.Int("parallel", 0, "worker/rank count (0: automatic)")
 		method   = flag.String("method", "naive", "hausdorff method: naive | early-break")
 		tasks    = flag.Int("tasks", 0, "task count (0: one per worker)")
@@ -39,66 +38,35 @@ func main() {
 	}
 }
 
-func parseEngine(s string) (core.Engine, error) {
-	switch s {
-	case "mpi":
-		return core.EngineMPI, nil
-	case "spark":
-		return core.EngineSpark, nil
-	case "dask":
-		return core.EngineDask, nil
-	case "pilot":
-		return core.EnginePilot, nil
-	default:
-		return 0, fmt.Errorf("unknown engine %q (want mpi|spark|dask|pilot)", s)
-	}
-}
-
 func run(in, engineName string, parallel int, methodName string, tasks, clusters int, sym bool) error {
-	eng, err := parseEngine(engineName)
+	spec := jobs.Spec{
+		Analysis:    jobs.AnalysisPSA,
+		Engine:      engineName,
+		Parallelism: parallel,
+		Tasks:       tasks,
+		Method:      methodName,
+		FullMatrix:  !sym,
+		Path:        in,
+	}
+	norm, input, err := jobs.Resolve(spec)
 	if err != nil {
 		return err
 	}
-	var m hausdorff.Method
-	switch methodName {
-	case "naive":
-		m = hausdorff.Naive
-	case "early-break":
-		m = hausdorff.EarlyBreak
-	default:
-		return fmt.Errorf("unknown method %q (want naive|early-break)", methodName)
-	}
-	paths, err := filepath.Glob(filepath.Join(in, "*.mdt"))
-	if err != nil {
-		return err
-	}
-	if len(paths) == 0 {
-		return fmt.Errorf("no .mdt files in %s (generate some with trajgen)", in)
-	}
-	sort.Strings(paths)
-	var ens traj.Ensemble
-	for _, p := range paths {
-		t, err := traj.ReadMDTFile(p)
-		if err != nil {
-			return err
-		}
-		ens = append(ens, t)
-	}
+	ens := input.Ens
 	fmt.Printf("loaded %d trajectories (%d atoms, %d frames each)\n",
 		len(ens), ens[0].NAtoms, ens[0].NFrames())
-
-	cfg := core.Config{Engine: eng, Parallelism: parallel, Tasks: tasks, FullMatrix: !sym}
 	start := time.Now()
-	mat, err := core.PSA(cfg, ens, m)
+	res, metrics, err := jobs.Run(jobs.DefaultRegistry(), norm, input)
 	if err != nil {
 		return err
 	}
+	mat := res.Matrix
 	schedule := "symmetric"
 	if !sym {
 		schedule = "full"
 	}
-	fmt.Printf("engine=%s method=%s schedule=%s elapsed=%s\n",
-		eng, m, schedule, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("engine=%s method=%s schedule=%s tasks=%d elapsed=%s\n",
+		engineName, methodName, schedule, metrics.Tasks, time.Since(start).Round(time.Millisecond))
 	for i := 0; i < mat.N; i++ {
 		for j := 0; j < mat.N; j++ {
 			fmt.Printf("%8.3f", mat.At(i, j))

@@ -4,28 +4,12 @@ import (
 	"path/filepath"
 	"testing"
 
-	"mdtask/internal/core"
 	"mdtask/internal/synth"
 	"mdtask/internal/traj"
 )
 
-func TestParseEngine(t *testing.T) {
-	cases := map[string]core.Engine{
-		"mpi": core.EngineMPI, "spark": core.EngineSpark,
-		"dask": core.EngineDask, "pilot": core.EnginePilot,
-	}
-	for name, want := range cases {
-		got, err := parseEngine(name)
-		if err != nil || got != want {
-			t.Errorf("parseEngine(%q) = %v, %v", name, got, err)
-		}
-	}
-	if _, err := parseEngine("hadoop"); err == nil {
-		t.Error("unknown engine accepted")
-	}
-}
-
-func TestRunEndToEnd(t *testing.T) {
+func writeEnsemble(t *testing.T) string {
+	t.Helper()
 	dir := t.TempDir()
 	for i := 0; i < 3; i++ {
 		tr := synth.Walk("t", 10, 5, 3, uint64(i))
@@ -33,11 +17,23 @@ func TestRunEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	return dir
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := writeEnsemble(t)
 	if err := run(dir, "spark", 2, "early-break", 0, 2, true); err != nil {
 		t.Fatal(err)
 	}
 	// Paper-faithful full-matrix mode stays available via -sym=false.
 	if err := run(dir, "spark", 2, "early-break", 0, 2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSerialEngine(t *testing.T) {
+	// The registry adds a serial engine to the CLI's historical four.
+	if err := run(writeEnsemble(t), "serial", 1, "naive", 0, 0, true); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -37,6 +37,10 @@ const (
 	EngineDask
 	// EnginePilot runs the RADICAL-Pilot-like pilot-job engine.
 	EnginePilot
+	// EngineSerial runs the single-goroutine reference implementation —
+	// the baseline every parallel engine is validated against. It is not
+	// part of Engines (the paper's comparison set).
+	EngineSerial
 )
 
 // String returns the engine's display name.
@@ -50,6 +54,8 @@ func (e Engine) String() string {
 		return "Dask"
 	case EnginePilot:
 		return "RADICAL-Pilot"
+	case EngineSerial:
+		return "Serial"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -111,6 +117,8 @@ func PSA(cfg Config, ens traj.Ensemble, method hausdorff.Method) (*psa.Matrix, e
 	n1 := psa.DefaultGroupSize(len(ens), wantTasks)
 	opts := psa.Opts{Symmetric: !cfg.FullMatrix, Method: method}
 	switch cfg.Engine {
+	case EngineSerial:
+		return psa.Serial(ens, opts)
 	case EngineSpark:
 		return psa.RunRDD(rdd.NewContext(cfg.parallelism()), ens, n1, opts)
 	case EngineDask:
@@ -145,6 +153,8 @@ func LeafletFinder(cfg Config, coords []linalg.Vec3, cutoff float64, approach le
 		tasks = 1024
 	}
 	switch cfg.Engine {
+	case EngineSerial:
+		return leaflet.Serial(coords, cutoff), nil
 	case EngineSpark:
 		return leaflet.RunRDD(rdd.NewContext(cfg.parallelism()), approach, coords, cutoff, tasks)
 	case EngineDask:

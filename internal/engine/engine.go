@@ -74,6 +74,31 @@ func (m *Metrics) Snapshot() Metrics {
 	}
 }
 
+// MergeFrom folds the current totals of another sink into m: counters
+// and durations add, task extrema widen. The job scheduler uses it to
+// aggregate per-job engine metrics into a service-wide view.
+func (m *Metrics) MergeFrom(other *Metrics) {
+	if other == nil {
+		return
+	}
+	s := other.Snapshot()
+	m.mu.Lock()
+	m.Tasks += s.Tasks
+	m.ComputeTime += s.ComputeTime
+	if s.MaxTask > m.MaxTask {
+		m.MaxTask = s.MaxTask
+	}
+	if s.MinTask > 0 && (m.MinTask == 0 || s.MinTask < m.MinTask) {
+		m.MinTask = s.MinTask
+	}
+	m.mu.Unlock()
+	atomic.AddInt64(&m.Stages, s.Stages)
+	atomic.AddInt64(&m.BytesShuffled, s.BytesShuffled)
+	atomic.AddInt64(&m.BytesBroadcast, s.BytesBroadcast)
+	atomic.AddInt64(&m.BytesStaged, s.BytesStaged)
+	atomic.AddInt64(&m.Failures, s.Failures)
+}
+
 // TaskPanicError wraps a panic recovered from a task so callers get an
 // error instead of a crashed process.
 type TaskPanicError struct {

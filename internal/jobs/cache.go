@@ -1,0 +1,69 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded, content-addressed result cache: CacheKey(spec,
+// input digest) → *Result, with LRU eviction. Identical resubmissions
+// are served from it without re-running any engine tasks.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// NewCache returns a cache holding up to max results (max < 1: 128).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 128
+	}
+	return &Cache{max: max, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// Get returns the cached result for key, refreshing its recency.
+func (c *Cache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a result under key, evicting the least recently used entry
+// when full.
+func (c *Cache) Put(key string, res *Result) {
+	if res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

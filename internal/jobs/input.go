@@ -1,0 +1,156 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"mdtask/internal/linalg"
+	"mdtask/internal/synth"
+	"mdtask/internal/traj"
+)
+
+// Input is a job's resolved input data. Its content digest covers the
+// actual coordinates (not file paths or names), so identical data
+// reached through different paths — or regenerated from the same synth
+// spec — content-addresses identically.
+type Input struct {
+	// Ens is the trajectory ensemble of a PSA job.
+	Ens traj.Ensemble
+	// Coords is the membrane snapshot of a Leaflet Finder job.
+	Coords []linalg.Vec3
+
+	digestOnce sync.Once
+	digest     string
+}
+
+// ContentDigest returns the hex SHA-256 of the input content, computed
+// lazily (the one-shot CLI path never needs it) and cached.
+func (in *Input) ContentDigest() string {
+	in.digestOnce.Do(func() {
+		if in.Ens != nil {
+			in.digest = ensembleDigest(in.Ens)
+		} else {
+			in.digest = coordsDigest(in.Coords)
+		}
+	})
+	return in.digest
+}
+
+// ResolveInput loads or generates the input a normalized spec describes.
+func ResolveInput(spec Spec) (*Input, error) {
+	switch spec.Analysis {
+	case AnalysisPSA:
+		ens, err := resolveEnsemble(spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := ens.Validate(); err != nil {
+			return nil, err
+		}
+		return &Input{Ens: ens}, nil
+	case AnalysisLeaflet:
+		coords, err := resolveCoords(spec)
+		if err != nil {
+			return nil, err
+		}
+		if len(coords) == 0 {
+			return nil, fmt.Errorf("jobs: empty coordinate set")
+		}
+		return &Input{Coords: coords}, nil
+	default:
+		return nil, fmt.Errorf("jobs: unknown analysis %q", spec.Analysis)
+	}
+}
+
+// resolveEnsemble reads a directory of .mdt files (sorted by name) or
+// generates a random-walk ensemble.
+func resolveEnsemble(spec Spec) (traj.Ensemble, error) {
+	if g := spec.Synth; g != nil {
+		ens := make(traj.Ensemble, g.Count)
+		for i := range ens {
+			ens[i] = synth.Walk(fmt.Sprintf("synth-%03d", i), g.Atoms, g.Frames, g.Seed, uint64(i))
+		}
+		return ens, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(spec.Path, "*.mdt"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("jobs: no .mdt files in %s (generate some with trajgen)", spec.Path)
+	}
+	sort.Strings(paths)
+	ens := make(traj.Ensemble, 0, len(paths))
+	for _, p := range paths {
+		t, err := traj.ReadMDTFile(p)
+		if err != nil {
+			return nil, err
+		}
+		ens = append(ens, t)
+	}
+	return ens, nil
+}
+
+// resolveCoords reads frame 0 of a single-frame .mdt membrane file or
+// generates a bilayer.
+func resolveCoords(spec Spec) ([]linalg.Vec3, error) {
+	if g := spec.Synth; g != nil {
+		return synth.Bilayer(g.Atoms, g.Seed).Coords, nil
+	}
+	t, err := traj.ReadMDTFile(spec.Path)
+	if err != nil {
+		return nil, err
+	}
+	if t.NFrames() == 0 {
+		return nil, fmt.Errorf("jobs: %s contains no frames", spec.Path)
+	}
+	return t.FrameCoords(0), nil
+}
+
+// ensembleDigest hashes an ensemble's shape and coordinates.
+func ensembleDigest(ens traj.Ensemble) string {
+	h := sha256.New()
+	writeInt(h, int64(len(ens)))
+	for _, t := range ens {
+		writeInt(h, int64(t.NAtoms))
+		writeInt(h, int64(t.NFrames()))
+		for _, f := range t.Frames {
+			writeCoords(h, f.Coords)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// coordsDigest hashes a coordinate set.
+func coordsDigest(coords []linalg.Vec3) string {
+	h := sha256.New()
+	writeInt(h, int64(len(coords)))
+	writeCoords(h, coords)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeInt(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+func writeCoords(h hash.Hash, coords []linalg.Vec3) {
+	buf := make([]byte, 0, 24*256)
+	for i, p := range coords {
+		for k := 0; k < 3; k++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p[k]))
+		}
+		if len(buf) >= 24*256 || i == len(coords)-1 {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+}

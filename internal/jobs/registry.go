@@ -1,0 +1,357 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdtask/internal/dask"
+	"mdtask/internal/engine"
+	"mdtask/internal/hausdorff"
+	"mdtask/internal/leaflet"
+	"mdtask/internal/pilot"
+	"mdtask/internal/psa"
+	"mdtask/internal/rdd"
+	"mdtask/internal/traj"
+)
+
+// ErrCancelled is returned by runners whose job was cooperatively
+// cancelled mid-run; the scheduler maps it to StateCancelled.
+var ErrCancelled = errors.New("jobs: job cancelled")
+
+// RunContext is the per-run handle a Runner receives: a cooperative
+// cancellation flag polled at block boundaries, and the live metrics
+// sink of whatever engine the runner brought up (so a running job's
+// status can report progress).
+type RunContext struct {
+	cancelled atomic.Bool
+	live      atomic.Pointer[engine.Metrics]
+}
+
+// NewRunContext returns a context with a fresh metrics sink.
+func NewRunContext() *RunContext {
+	rc := &RunContext{}
+	rc.live.Store(&engine.Metrics{})
+	return rc
+}
+
+// Cancel requests cooperative cancellation.
+func (rc *RunContext) Cancel() { rc.cancelled.Store(true) }
+
+// Cancelled reports whether cancellation was requested. Runners (and
+// the engine task bodies they configure) poll it at block boundaries.
+func (rc *RunContext) Cancelled() bool { return rc.cancelled.Load() }
+
+// Metrics returns the current live metrics sink.
+func (rc *RunContext) Metrics() *engine.Metrics { return rc.live.Load() }
+
+// SetMetrics publishes an engine-owned sink (an rdd Context's or dask
+// Client's) as the run's live metrics.
+func (rc *RunContext) SetMetrics(m *engine.Metrics) {
+	if m != nil {
+		rc.live.Store(m)
+	}
+}
+
+// Runner executes one analysis job over already-resolved input and
+// returns its result. Runners must poll rc for cancellation and leave
+// engine accounting reachable through rc.Metrics().
+type Runner func(rc *RunContext, spec Spec, in *Input) (*Result, error)
+
+// Registry maps runner names (RunnerName(analysis, engine)) to runners.
+// It replaces the hand-rolled engine-dispatch switches the CLIs used to
+// carry, and is the extension point for new analyses or engines.
+type Registry struct {
+	mu      sync.RWMutex
+	runners map[string]Runner
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{runners: make(map[string]Runner)}
+}
+
+// Register adds a named runner; registering a nil runner or a duplicate
+// name is an error.
+func (r *Registry) Register(name string, fn Runner) error {
+	if fn == nil {
+		return fmt.Errorf("jobs: nil runner %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.runners[name]; dup {
+		return fmt.Errorf("jobs: duplicate runner %q", name)
+	}
+	r.runners[name] = fn
+	return nil
+}
+
+// Lookup returns the runner registered under name.
+func (r *Registry) Lookup(name string) (Runner, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.runners[name]
+	return fn, ok
+}
+
+// Names lists the registered runner names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.runners))
+	for name := range r.runners {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultRegistry returns a registry with both analyses registered on
+// all five engines.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	for _, eng := range Engines {
+		must(r.Register(RunnerName(AnalysisPSA, eng), psaRunner(eng)))
+		must(r.Register(RunnerName(AnalysisLeaflet, eng), leafletRunner(eng)))
+	}
+	return r
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// ranks resolves the process count of the distributed-memory engines.
+func (s Spec) ranks() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return 4
+}
+
+// groupSize resolves PSA's block edge length n1 for an N-trajectory
+// ensemble ("one task per core" unless Tasks overrides).
+func (s Spec) groupSize(n int) int {
+	wantTasks := s.Tasks
+	if wantTasks <= 0 {
+		wantTasks = s.ranks()
+	}
+	return psa.DefaultGroupSize(n, wantTasks)
+}
+
+// hausdorffMethod maps a normalized method name to the kernel.
+func (s Spec) hausdorffMethod() hausdorff.Method {
+	if s.Method == "early-break" {
+		return hausdorff.EarlyBreak
+	}
+	return hausdorff.Naive
+}
+
+// PlannedTasks estimates how many engine tasks a job will run, for
+// progress reporting (0: unknown).
+func PlannedTasks(spec Spec, in *Input) int {
+	switch spec.Analysis {
+	case AnalysisPSA:
+		blocks, err := psa.Partition(len(in.Ens), spec.groupSize(len(in.Ens)), !spec.FullMatrix)
+		if err != nil {
+			return 0
+		}
+		return len(blocks)
+	case AnalysisLeaflet:
+		if spec.Engine == EngineSerial {
+			return 1 // the serial runner is one task, whatever the plan says
+		}
+		if spec.Approach == "broadcast" {
+			parts := spec.Tasks
+			if spec.Engine == EngineMPI {
+				parts = spec.ranks()
+			}
+			lens, _ := leaflet.Plan1D(len(in.Coords), parts)
+			return len(lens)
+		}
+		return len(leaflet.Plan2D(len(in.Coords), spec.Tasks))
+	}
+	return 0
+}
+
+// psaRunner builds the PSA runner for one engine.
+func psaRunner(engineName string) Runner {
+	return func(rc *RunContext, spec Spec, in *Input) (*Result, error) {
+		ens := in.Ens
+		opts := psa.Opts{
+			Symmetric: !spec.FullMatrix,
+			Method:    spec.hausdorffMethod(),
+			Cancel:    rc.Cancelled,
+		}
+		n1 := spec.groupSize(len(ens))
+		var (
+			mat *psa.Matrix
+			err error
+		)
+		switch engineName {
+		case EngineSerial:
+			mat, err = runPSASerial(rc, ens, n1, opts)
+		case EngineSpark:
+			ctx := rdd.NewContext(spec.Parallelism)
+			rc.SetMetrics(ctx.Metrics)
+			mat, err = psa.RunRDD(ctx, ens, n1, opts)
+		case EngineDask:
+			client := dask.NewClient(spec.Parallelism)
+			rc.SetMetrics(client.Metrics)
+			mat, err = psa.RunDask(client, ens, n1, opts)
+		case EngineMPI:
+			opts.Metrics = rc.Metrics()
+			mat, err = psa.RunMPI(spec.ranks(), ens, n1, opts)
+		case EnginePilot:
+			p, cleanup, perr := startPilot(spec.ranks(), rc.Metrics())
+			if perr != nil {
+				return nil, perr
+			}
+			defer cleanup()
+			mat, err = psa.RunPilot(p, ens, n1, opts)
+		default:
+			return nil, fmt.Errorf("jobs: unknown engine %q", engineName)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rc.Cancelled() {
+			return nil, ErrCancelled
+		}
+		return &Result{Matrix: mat}, nil
+	}
+}
+
+// runPSASerial runs the block schedule sequentially on one goroutine,
+// recording one engine task per block so progress reporting and the
+// metrics surface match the parallel engines.
+func runPSASerial(rc *RunContext, ens traj.Ensemble, n1 int, opts psa.Opts) (*psa.Matrix, error) {
+	blocks, err := psa.Partition(len(ens), n1, opts.Symmetric)
+	if err != nil {
+		return nil, err
+	}
+	m := rc.Metrics()
+	results := make([]psa.BlockResult, 0, len(blocks))
+	for _, b := range blocks {
+		if rc.Cancelled() {
+			return nil, ErrCancelled
+		}
+		start := time.Now()
+		results = append(results, psa.ComputeBlock(ens, b, opts))
+		m.RecordTask(time.Since(start))
+	}
+	m.RecordStage()
+	return psa.Assemble(len(ens), results), nil
+}
+
+// leafletRunner builds the Leaflet Finder runner for one engine.
+func leafletRunner(engineName string) Runner {
+	return func(rc *RunContext, spec Spec, in *Input) (*Result, error) {
+		approach, _, err := ParseApproach(spec.Approach)
+		if err != nil {
+			return nil, err
+		}
+		coords, cutoff, tasks := in.Coords, spec.Cutoff, spec.Tasks
+		cancel := leaflet.WithCancel(rc.Cancelled)
+		var res *leaflet.Result
+		switch engineName {
+		case EngineSerial:
+			start := time.Now()
+			res = leaflet.Serial(coords, cutoff, cancel)
+			rc.Metrics().RecordTask(time.Since(start))
+			rc.Metrics().RecordStage()
+		case EngineSpark:
+			ctx := rdd.NewContext(spec.Parallelism)
+			rc.SetMetrics(ctx.Metrics)
+			res, err = leaflet.RunRDD(ctx, approach, coords, cutoff, tasks, cancel)
+		case EngineDask:
+			client := dask.NewClient(spec.Parallelism)
+			rc.SetMetrics(client.Metrics)
+			res, err = leaflet.RunDask(client, approach, coords, cutoff, tasks, cancel)
+		case EngineMPI:
+			res, err = leaflet.RunMPI(spec.ranks(), approach, coords, cutoff, tasks,
+				cancel, leaflet.WithMetrics(rc.Metrics()))
+		case EnginePilot:
+			p, cleanup, perr := startPilot(spec.ranks(), rc.Metrics())
+			if perr != nil {
+				return nil, perr
+			}
+			defer cleanup()
+			res, err = leaflet.RunPilot(p, coords, cutoff, tasks, cancel)
+		default:
+			return nil, fmt.Errorf("jobs: unknown engine %q", engineName)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rc.Cancelled() {
+			return nil, ErrCancelled
+		}
+		return &Result{Leaflet: res}, nil
+	}
+}
+
+// startPilot brings up a pilot with a temporary staging directory and
+// the given metrics sink, returning a cleanup function.
+func startPilot(cores int, m *engine.Metrics) (*pilot.Pilot, func(), error) {
+	dir, err := os.MkdirTemp("", "mdtask-jobs-pilot-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: creating pilot staging dir: %w", err)
+	}
+	cfg := pilot.Defaults()
+	db := pilot.NewDB(cfg.DBLatency)
+	p, err := pilot.NewPilot(cores, dir, db, cfg, m)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	return p, func() {
+		p.Shutdown()
+		os.RemoveAll(dir)
+	}, nil
+}
+
+// Resolve normalizes a spec and loads or generates its input — the
+// first half of a one-shot run, split out so callers can report (and
+// time) input loading separately from engine execution.
+func Resolve(spec Spec) (Spec, *Input, error) {
+	norm, err := spec.Normalized()
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	in, err := ResolveInput(norm)
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	return norm, in, nil
+}
+
+// Run executes an already-resolved spec synchronously on the calling
+// goroutine, returning the result and the engine metrics of the run.
+func Run(reg *Registry, spec Spec, in *Input) (*Result, MetricsSnapshot, error) {
+	name := RunnerName(spec.Analysis, spec.Engine)
+	runner, ok := reg.Lookup(name)
+	if !ok {
+		return nil, MetricsSnapshot{}, fmt.Errorf("jobs: no runner registered for %q", name)
+	}
+	rc := NewRunContext()
+	res, err := runner(rc, spec, in)
+	return res, SnapshotOf(rc.Metrics()), err
+}
+
+// RunLocal is Resolve followed by Run — the one-shot path for callers
+// that don't need the two phases separated.
+func RunLocal(reg *Registry, spec Spec) (*Input, *Result, MetricsSnapshot, error) {
+	norm, in, err := Resolve(spec)
+	if err != nil {
+		return nil, nil, MetricsSnapshot{}, err
+	}
+	res, metrics, err := Run(reg, norm, in)
+	return in, res, metrics, err
+}

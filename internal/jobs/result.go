@@ -1,0 +1,52 @@
+package jobs
+
+import (
+	"time"
+
+	"mdtask/internal/engine"
+	"mdtask/internal/leaflet"
+	"mdtask/internal/psa"
+)
+
+// Result is the output of one analysis job: exactly one of the fields
+// is set, matching the job's analysis. Results stored in the cache are
+// shared between jobs and must be treated as immutable.
+type Result struct {
+	// Matrix is the PSA all-pairs Hausdorff distance matrix.
+	Matrix *psa.Matrix `json:"matrix,omitempty"`
+	// Leaflet is the Leaflet Finder assignment.
+	Leaflet *leaflet.Result `json:"leaflet,omitempty"`
+}
+
+// MetricsSnapshot is a plain (lock-free, JSON-friendly) copy of an
+// engine.Metrics sink.
+type MetricsSnapshot struct {
+	Tasks          int64         `json:"tasks"`
+	Stages         int64         `json:"stages"`
+	ComputeTime    time.Duration `json:"compute_ns"`
+	MaxTask        time.Duration `json:"max_task_ns"`
+	MinTask        time.Duration `json:"min_task_ns"`
+	BytesShuffled  int64         `json:"bytes_shuffled"`
+	BytesBroadcast int64         `json:"bytes_broadcast"`
+	BytesStaged    int64         `json:"bytes_staged"`
+	Failures       int64         `json:"failures"`
+}
+
+// SnapshotOf copies the current totals of a metrics sink (nil-safe).
+func SnapshotOf(m *engine.Metrics) MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	s := m.Snapshot()
+	return MetricsSnapshot{
+		Tasks:          s.Tasks,
+		Stages:         s.Stages,
+		ComputeTime:    s.ComputeTime,
+		MaxTask:        s.MaxTask,
+		MinTask:        s.MinTask,
+		BytesShuffled:  s.BytesShuffled,
+		BytesBroadcast: s.BytesBroadcast,
+		BytesStaged:    s.BytesStaged,
+		Failures:       s.Failures,
+	}
+}

@@ -1,0 +1,469 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdtask/internal/engine"
+)
+
+// State is a job lifecycle state: queued → running → done|failed|cancelled.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Scheduler errors surfaced to API callers.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is full.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("jobs: scheduler closed")
+)
+
+// Job is one scheduled analysis: a normalized spec, its lifecycle
+// state, and (once finished) its result and metrics.
+type Job struct {
+	id         string
+	spec       Spec
+	key        string
+	totalTasks int
+	rc         *RunContext
+
+	mu       sync.Mutex
+	state    State
+	errMsg   string
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   *Result
+	final    MetricsSnapshot
+	input    *Input // held until the run starts, then released
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the job's normalized spec.
+func (j *Job) Spec() Spec { return j.spec }
+
+// Status is the JSON view of a job's current state and progress.
+type Status struct {
+	ID              string          `json:"id"`
+	Analysis        string          `json:"analysis"`
+	Engine          string          `json:"engine"`
+	State           State           `json:"state"`
+	Error           string          `json:"error,omitempty"`
+	CacheHit        bool            `json:"cache_hit"`
+	CancelRequested bool            `json:"cancel_requested,omitempty"`
+	Created         time.Time       `json:"created"`
+	Started         *time.Time      `json:"started,omitempty"`
+	Finished        *time.Time      `json:"finished,omitempty"`
+	TasksDone       int64           `json:"tasks_done"`
+	TasksTotal      int             `json:"tasks_total,omitempty"`
+	Progress        float64         `json:"progress"`
+	Metrics         MetricsSnapshot `json:"metrics"`
+}
+
+// Status snapshots the job: state, timing, and metrics — live engine
+// metrics while running, the final snapshot once finished.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:              j.id,
+		Analysis:        j.spec.Analysis,
+		Engine:          j.spec.Engine,
+		State:           j.state,
+		Error:           j.errMsg,
+		CacheHit:        j.cacheHit,
+		CancelRequested: j.rc.Cancelled() && !j.state.Terminal(),
+		Created:         j.created,
+		TasksTotal:      j.totalTasks,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.state.Terminal() {
+		st.Metrics = j.final
+	} else {
+		st.Metrics = SnapshotOf(j.rc.Metrics())
+	}
+	st.TasksDone = st.Metrics.Tasks
+	switch {
+	case j.state == StateDone:
+		st.Progress = 1
+	case j.totalTasks > 0:
+		p := float64(st.TasksDone) / float64(j.totalTasks)
+		if p > 0.99 {
+			p = 0.99
+		}
+		st.Progress = p
+	}
+	return st
+}
+
+// Result returns the job's result alongside its state; the result is
+// non-nil only in StateDone.
+func (j *Job) Result() (*Result, State, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state, j.errMsg
+}
+
+// Options sizes a Scheduler.
+type Options struct {
+	// Workers is the number of jobs run concurrently (< 1: 2).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (< 1: 64); Submit fails with ErrQueueFull beyond it.
+	QueueDepth int
+	// CacheEntries bounds the result cache (< 1: 128).
+	CacheEntries int
+	// MaxJobs bounds the retained job records (< 1: 4096). When a new
+	// submission would exceed it, the oldest *terminal* job records —
+	// status and result — are evicted, after which their ids answer 404.
+	// Queued and running jobs are never evicted.
+	MaxJobs int
+}
+
+// Scheduler owns the job table, the bounded FIFO queue, the worker
+// pool, the content-addressed result cache, and the service-wide
+// engine-metrics aggregate.
+type Scheduler struct {
+	reg   *Registry
+	cache *Cache
+	agg   *engine.Metrics
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	mu         sync.Mutex
+	cond       *sync.Cond // signals workers when pending grows or closed flips
+	closed     bool
+	seq        int64
+	maxJobs    int
+	queueDepth int
+	pending    []*Job // FIFO of queued jobs; cancelled ones are removed in place
+	jobs       map[string]*Job
+	order      []*Job
+
+	wg sync.WaitGroup
+}
+
+// NewScheduler starts a scheduler executing jobs from reg.
+func NewScheduler(reg *Registry, o Options) *Scheduler {
+	if o.Workers < 1 {
+		o.Workers = 2
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 64
+	}
+	if o.MaxJobs < 1 {
+		o.MaxJobs = 4096
+	}
+	s := &Scheduler{
+		reg:        reg,
+		cache:      NewCache(o.CacheEntries),
+		agg:        &engine.Metrics{},
+		maxJobs:    o.MaxJobs,
+		queueDepth: o.QueueDepth,
+		jobs:       make(map[string]*Job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(o.Workers)
+	for i := 0; i < o.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job. The input is resolved (loaded or
+// generated) synchronously so the result cache can be consulted
+// immediately: an identical earlier submission completes the job on the
+// spot, without touching the queue or any engine. The tradeoff is that
+// the caller's goroutine pays for input loading and hashing, and each
+// queued job holds its input in memory until a worker picks it up —
+// QueueDepth bounds that multiplier, and an overloaded (or closed)
+// scheduler rejects submissions before resolving their input.
+func (s *Scheduler) Submit(spec Spec) (*Job, error) {
+	norm, err := spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := s.reg.Lookup(RunnerName(norm.Analysis, norm.Engine)); !ok {
+		return nil, fmt.Errorf("jobs: no runner registered for %q", RunnerName(norm.Analysis, norm.Engine))
+	}
+	// Admission control before the expensive input resolution. A full
+	// queue also rejects would-be cache hits; under overload, shedding
+	// load beats loading inputs just to look them up.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(s.pending) >= s.queueDepth {
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.mu.Unlock()
+
+	in, err := ResolveInput(norm)
+	if err != nil {
+		return nil, err
+	}
+	job := &Job{
+		spec:       norm,
+		key:        CacheKey(norm, in.ContentDigest()),
+		totalTasks: PlannedTasks(norm, in),
+		rc:         NewRunContext(),
+		state:      StateQueued,
+		created:    time.Now(),
+		input:      in,
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	hit, hitOK := s.cache.Get(job.key)
+	if !hitOK && len(s.pending) >= s.queueDepth {
+		return nil, ErrQueueFull
+	}
+	s.seq++
+	job.id = fmt.Sprintf("job-%06d", s.seq)
+	s.jobs[job.id] = job
+	s.order = append(s.order, job)
+	if hitOK {
+		s.cacheHits.Add(1)
+		job.state = StateDone
+		job.cacheHit = true
+		job.result = hit
+		job.finished = job.created
+		job.input = nil
+	} else {
+		s.cacheMisses.Add(1)
+		s.pending = append(s.pending, job)
+		s.cond.Signal()
+	}
+	s.pruneLocked()
+	return job, nil
+}
+
+// pruneLocked evicts the oldest terminal job records beyond MaxJobs so
+// the job table (and the results it pins) stays bounded on a
+// long-running server. Callers hold s.mu.
+func (s *Scheduler) pruneLocked() {
+	if len(s.order) <= s.maxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.maxJobs
+	for _, j := range s.order {
+		if excess > 0 {
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			if terminal {
+				delete(s.jobs, j.id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, j)
+	}
+	// Drop the tail references so evicted jobs can be collected.
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil
+	}
+	s.order = kept
+}
+
+// Get returns the job with the given id.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Cancel requests cancellation of a job: a queued job is cancelled
+// immediately (it leaves the queue and will never run); a running job's
+// cancel flag is set and the run drains at its next block boundary,
+// ending in StateCancelled without publishing a result. Finished jobs
+// are unaffected. The boolean reports whether the request changed
+// anything.
+func (s *Scheduler) Cancel(id string) (*Job, bool) {
+	j, ok := s.Get(id)
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	var wasQueued bool
+	var changed bool
+	switch j.state {
+	case StateQueued:
+		j.rc.Cancel()
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.input = nil
+		wasQueued, changed = true, true
+	case StateRunning:
+		j.rc.Cancel()
+		changed = true
+	}
+	j.mu.Unlock()
+	if wasQueued {
+		// Free the queue slot immediately (never while holding j.mu:
+		// pruneLocked nests the locks the other way round).
+		s.unqueue(j)
+	}
+	return j, changed
+}
+
+// unqueue removes a job from the pending FIFO, freeing its queue slot
+// for new submissions immediately.
+func (s *Scheduler) unqueue(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// ServiceMetrics is the JSON view of GET /v1/metrics: job counts by
+// state, cache effectiveness, and the aggregated engine accounting of
+// every job run so far.
+type ServiceMetrics struct {
+	Jobs         map[State]int   `json:"jobs"`
+	CacheHits    int64           `json:"cache_hits"`
+	CacheMisses  int64           `json:"cache_misses"`
+	CacheEntries int             `json:"cache_entries"`
+	Engine       MetricsSnapshot `json:"engine"`
+}
+
+// Metrics snapshots the service-wide view.
+func (s *Scheduler) Metrics() ServiceMetrics {
+	counts := make(map[State]int)
+	for _, j := range s.Jobs() {
+		counts[j.Status().State]++
+	}
+	return ServiceMetrics{
+		Jobs:         counts,
+		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
+		CacheEntries: s.cache.Len(),
+		Engine:       SnapshotOf(s.agg),
+	}
+}
+
+// Close stops accepting submissions, drains the queue and waits for
+// running jobs to finish.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker pulls queued jobs and runs them to a terminal state.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 { // closed and drained
+			s.mu.Unlock()
+			return
+		}
+		job := s.pending[0]
+		s.pending = s.pending[1:]
+		s.mu.Unlock()
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job and publishes its outcome.
+func (s *Scheduler) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state != StateQueued { // cancelled while queued
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	spec, in := job.spec, job.input
+	job.mu.Unlock()
+
+	var (
+		res *Result
+		err error
+	)
+	runner, ok := s.reg.Lookup(RunnerName(spec.Analysis, spec.Engine))
+	if !ok {
+		err = fmt.Errorf("jobs: no runner registered for %q", RunnerName(spec.Analysis, spec.Engine))
+	} else {
+		res, err = runner(job.rc, spec, in)
+	}
+
+	live := job.rc.Metrics()
+	s.agg.MergeFrom(live)
+
+	job.mu.Lock()
+	job.input = nil
+	job.final = SnapshotOf(live)
+	job.finished = time.Now()
+	var publish bool
+	switch {
+	case job.rc.Cancelled() || errors.Is(err, ErrCancelled):
+		job.state = StateCancelled
+	case err != nil:
+		job.state = StateFailed
+		job.errMsg = err.Error()
+	default:
+		job.state = StateDone
+		job.result = res
+		publish = true
+	}
+	key := job.key
+	job.mu.Unlock()
+	if publish {
+		s.cache.Put(key, res)
+	}
+}

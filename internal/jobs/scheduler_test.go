@@ -1,0 +1,271 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitTerminal polls a job to a terminal state.
+func waitTerminal(t *testing.T, j *Job) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := j.Status()
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", st.ID, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSchedulerRunsJob(t *testing.T) {
+	s := NewScheduler(DefaultRegistry(), Options{Workers: 1})
+	defer s.Close()
+	job, err := s.Submit(validPSASpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, job)
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (error %q)", st.State, st.Error)
+	}
+	if st.Metrics.Tasks == 0 || st.Progress != 1 {
+		t.Errorf("metrics/progress not reported: %+v", st)
+	}
+	res, _, _ := job.Result()
+	if res == nil || res.Matrix == nil || res.Matrix.N != 3 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestSchedulerCacheHit(t *testing.T) {
+	s := NewScheduler(DefaultRegistry(), Options{Workers: 1})
+	defer s.Close()
+	first, err := s.Submit(validPSASpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, first)
+	tasksAfterFirst := s.Metrics().Engine.Tasks
+	if tasksAfterFirst == 0 {
+		t.Fatal("first run recorded no engine tasks")
+	}
+
+	second, err := s.Submit(validPSASpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := second.Status()
+	if st.State != StateDone || !st.CacheHit {
+		t.Fatalf("identical resubmission not served from cache: %+v", st)
+	}
+	if got := s.Metrics().Engine.Tasks; got != tasksAfterFirst {
+		t.Errorf("cache hit re-ran engine tasks: %d -> %d", tasksAfterFirst, got)
+	}
+	r1, _, _ := first.Result()
+	r2, _, _ := second.Result()
+	if r1.Matrix != r2.Matrix {
+		t.Error("cache hit did not share the stored result")
+	}
+	m := s.Metrics()
+	if m.CacheHits != 1 || m.CacheMisses != 1 || m.CacheEntries != 1 {
+		t.Errorf("cache accounting: %+v", m)
+	}
+
+	// A different engine is a different submission: it must run.
+	other := validPSASpec()
+	other.Engine = EngineDask
+	third, err := s.Submit(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, third); st.CacheHit {
+		t.Error("different engine served from cache")
+	}
+}
+
+// blockingRegistry registers a psa/serial runner that parks until
+// cancelled or released, for deterministic scheduling tests.
+func blockingRegistry(started chan<- string, release <-chan struct{}) *Registry {
+	reg := NewRegistry()
+	must(reg.Register(RunnerName(AnalysisPSA, EngineSerial),
+		func(rc *RunContext, spec Spec, in *Input) (*Result, error) {
+			started <- spec.Engine
+			for {
+				select {
+				case <-release:
+					return &Result{Matrix: nil}, nil
+				default:
+				}
+				if rc.Cancelled() {
+					return nil, ErrCancelled
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}))
+	return reg
+}
+
+func TestSchedulerCancelRunningJob(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	s := NewScheduler(blockingRegistry(started, release), Options{Workers: 1})
+	defer s.Close()
+	spec := validPSASpec()
+	spec.Engine = EngineSerial
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, ok := s.Cancel(job.ID()); !ok {
+		t.Fatal("cancel of running job rejected")
+	}
+	st := waitTerminal(t, job)
+	if st.State != StateCancelled {
+		t.Fatalf("cancelled running job finished %s", st.State)
+	}
+	if res, _, _ := job.Result(); res != nil {
+		t.Error("cancelled job published a result")
+	}
+	if s.Metrics().CacheEntries != 0 {
+		t.Error("cancelled job reached the cache")
+	}
+}
+
+func TestSchedulerCancelQueuedJobAndQueueBound(t *testing.T) {
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	s := NewScheduler(blockingRegistry(started, release), Options{Workers: 1, QueueDepth: 1})
+	spec := validPSASpec()
+	spec.Engine = EngineSerial
+
+	running, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker is now parked in the running job
+
+	queued, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit: got %v, want ErrQueueFull", err)
+	}
+
+	// A queued job cancels immediately, before ever running, and frees
+	// its queue slot for a new submission on the spot.
+	if _, ok := s.Cancel(queued.ID()); !ok {
+		t.Fatal("cancel of queued job rejected")
+	}
+	if st := queued.Status(); st.State != StateCancelled {
+		t.Fatalf("queued job is %s after cancel", st.State)
+	}
+	replacement, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("queue slot not freed by cancel: %v", err)
+	}
+
+	close(release)
+	waitTerminal(t, running)
+	waitTerminal(t, replacement)
+	s.Close()
+	if st := queued.Status(); st.Metrics.Tasks != 0 {
+		t.Error("cancelled queued job ran anyway")
+	}
+	// Exactly the running job and the replacement started; the
+	// cancelled queued job never did.
+	<-started // the replacement's start event
+	select {
+	case eng := <-started:
+		t.Errorf("cancelled queued job started on %s", eng)
+	default:
+	}
+}
+
+func TestSchedulerCancelMissingAndFinished(t *testing.T) {
+	s := NewScheduler(DefaultRegistry(), Options{Workers: 1})
+	defer s.Close()
+	if j, ok := s.Cancel("job-999999"); j != nil || ok {
+		t.Error("cancel of unknown job succeeded")
+	}
+	job, err := s.Submit(validPSASpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, job)
+	if _, ok := s.Cancel(job.ID()); ok {
+		t.Error("cancel of finished job reported a change")
+	}
+}
+
+func TestSchedulerSubmitValidation(t *testing.T) {
+	s := NewScheduler(DefaultRegistry(), Options{Workers: 1})
+	defer s.Close()
+	if _, err := s.Submit(Spec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	bad := validPSASpec()
+	bad.Path, bad.Synth = "/nonexistent-dir", nil
+	if _, err := s.Submit(bad); err == nil {
+		t.Error("unresolvable input accepted")
+	}
+}
+
+func TestSchedulerClosedSubmit(t *testing.T) {
+	s := NewScheduler(DefaultRegistry(), Options{Workers: 1})
+	s.Close()
+	if _, err := s.Submit(validPSASpec()); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: got %v", err)
+	}
+}
+
+func TestSchedulerJobTableBounded(t *testing.T) {
+	s := NewScheduler(DefaultRegistry(), Options{Workers: 1, MaxJobs: 2})
+	defer s.Close()
+	var ids []string
+	for i := 0; i < 4; i++ {
+		spec := validPSASpec()
+		spec.Synth.Seed = uint64(100 + i) // distinct content: no cache hits
+		job, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, job)
+		ids = append(ids, job.ID())
+	}
+	if got := len(s.Jobs()); got > 2 {
+		t.Errorf("job table holds %d records, want <= 2", got)
+	}
+	if _, ok := s.Get(ids[0]); ok {
+		t.Error("oldest terminal job record not evicted")
+	}
+	if _, ok := s.Get(ids[3]); !ok {
+		t.Error("newest job record evicted")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	a, b, d := &Result{}, &Result{}, &Result{}
+	c.Put("a", a)
+	c.Put("b", b)
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("d", d)
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+}

@@ -1,0 +1,107 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// NewServer wraps a scheduler in the mdserver HTTP JSON API:
+//
+//	POST   /v1/jobs          submit a job (body: Spec JSON) → Status
+//	GET    /v1/jobs          list jobs → []Status
+//	GET    /v1/jobs/{id}     job status + progress + metrics → Status
+//	GET    /v1/jobs/{id}/result  result of a done job → Result
+//	DELETE /v1/jobs/{id}     cancel a queued or running job → Status
+//	GET    /v1/metrics       service-wide metrics → ServiceMetrics
+//	GET    /healthz          liveness probe
+func NewServer(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+			return
+		}
+		job, err := s.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusAccepted, job.Status())
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs()
+		out := make([]Status, len(jobs))
+		for i, j := range jobs {
+			out[i] = j.Status()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+			return
+		}
+		res, state, errMsg := job.Result()
+		switch state {
+		case StateDone:
+			writeJSON(w, http.StatusOK, res)
+		case StateFailed:
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("job failed: %s", errMsg))
+		case StateCancelled:
+			writeError(w, http.StatusGone, fmt.Errorf("job was cancelled"))
+		default:
+			writeError(w, http.StatusConflict, fmt.Errorf("job is %s; no result yet", state))
+		}
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Cancel(r.PathValue("id"))
+		if job == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+			return
+		}
+		st := job.Status()
+		if !ok && st.State != StateCancelled {
+			writeError(w, http.StatusConflict, fmt.Errorf("job already %s", st.State))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	return mux
+}
+
+// writeJSON encodes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError encodes a JSON error envelope.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

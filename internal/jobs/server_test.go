@@ -1,0 +1,300 @@
+package jobs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mdtask/internal/leaflet"
+	"mdtask/internal/psa"
+)
+
+func newTestServer(t *testing.T, reg *Registry, o Options) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	s := NewScheduler(reg, o)
+	ts := httptest.NewServer(NewServer(s))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts, s
+}
+
+func doJSON(t *testing.T, method, url string, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func submitJob(t *testing.T, url string, spec Spec) Status {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, raw := doJSON(t, http.MethodPost, url+"/v1/jobs", string(body))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: got %d: %s", code, raw)
+	}
+	var st Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func pollJob(t *testing.T, url, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, raw := doJSON(t, http.MethodGet, url+"/v1/jobs/"+id, "")
+		if code != http.StatusOK {
+			t.Fatalf("poll: got %d: %s", code, raw)
+		}
+		var st Status
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func fetchResult(t *testing.T, url, id string) (*Result, int) {
+	t.Helper()
+	code, raw := doJSON(t, http.MethodGet, url+"/v1/jobs/"+id+"/result", "")
+	if code != http.StatusOK {
+		return nil, code
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	return &res, code
+}
+
+// TestAPIPSAAllEngines round-trips a PSA job through the HTTP API on
+// every engine and checks each matrix is bit-identical to the serial
+// runner's.
+func TestAPIPSAAllEngines(t *testing.T) {
+	ts, _ := newTestServer(t, DefaultRegistry(), Options{Workers: 2})
+	spec, err := validPSASpec().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ResolveInput(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := psa.Serial(in.Ens, psa.Opts{Symmetric: true, Method: spec.hausdorffMethod()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range Engines {
+		s := validPSASpec()
+		s.Engine = eng
+		st := submitJob(t, ts.URL, s)
+		st = pollJob(t, ts.URL, st.ID)
+		if st.State != StateDone {
+			t.Fatalf("%s: job finished %s (error %q)", eng, st.State, st.Error)
+		}
+		res, code := fetchResult(t, ts.URL, st.ID)
+		if code != http.StatusOK || res.Matrix == nil {
+			t.Fatalf("%s: result fetch failed (%d)", eng, code)
+		}
+		if res.Matrix.N != want.N {
+			t.Fatalf("%s: matrix size %d, want %d", eng, res.Matrix.N, want.N)
+		}
+		for i := range want.Data {
+			if res.Matrix.Data[i] != want.Data[i] {
+				t.Fatalf("%s: matrix differs from serial at %d", eng, i)
+			}
+		}
+	}
+}
+
+// TestAPILeafletAllEngines round-trips a Leaflet Finder job on every
+// engine (task2d, the approach all five support) and checks each
+// assignment matches the serial runner's.
+func TestAPILeafletAllEngines(t *testing.T) {
+	ts, _ := newTestServer(t, DefaultRegistry(), Options{Workers: 2})
+	spec, err := validLeafletSpec().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ResolveInput(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := leaflet.Serial(in.Coords, spec.Cutoff)
+	for _, eng := range Engines {
+		s := validLeafletSpec()
+		s.Engine = eng
+		st := submitJob(t, ts.URL, s)
+		st = pollJob(t, ts.URL, st.ID)
+		if st.State != StateDone {
+			t.Fatalf("%s: job finished %s (error %q)", eng, st.State, st.Error)
+		}
+		res, code := fetchResult(t, ts.URL, st.ID)
+		if code != http.StatusOK || res.Leaflet == nil {
+			t.Fatalf("%s: result fetch failed (%d)", eng, code)
+		}
+		if !leaflet.Equal(res.Leaflet, want) {
+			t.Fatalf("%s: assignment differs from serial", eng)
+		}
+	}
+}
+
+// TestAPICacheHit submits the same job twice and asserts the second is
+// answered from the result cache without running any engine tasks.
+func TestAPICacheHit(t *testing.T) {
+	ts, _ := newTestServer(t, DefaultRegistry(), Options{Workers: 1})
+	st := submitJob(t, ts.URL, validPSASpec())
+	st = pollJob(t, ts.URL, st.ID)
+	if st.State != StateDone || st.CacheHit {
+		t.Fatalf("first run: %+v", st)
+	}
+	first, _ := fetchResult(t, ts.URL, st.ID)
+
+	var before ServiceMetrics
+	code, raw := doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if err := json.Unmarshal(raw, &before); err != nil {
+		t.Fatal(err)
+	}
+	if before.Engine.Tasks == 0 {
+		t.Fatal("first run recorded no engine tasks")
+	}
+
+	st2 := submitJob(t, ts.URL, validPSASpec())
+	if st2.State != StateDone || !st2.CacheHit {
+		t.Fatalf("identical resubmission not a cache hit: %+v", st2)
+	}
+	second, _ := fetchResult(t, ts.URL, st2.ID)
+	for i := range first.Matrix.Data {
+		if first.Matrix.Data[i] != second.Matrix.Data[i] {
+			t.Fatal("cached result differs")
+		}
+	}
+
+	var after ServiceMetrics
+	_, raw = doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", "")
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Engine.Tasks != before.Engine.Tasks {
+		t.Errorf("cache hit re-ran engine tasks: %d -> %d", before.Engine.Tasks, after.Engine.Tasks)
+	}
+	if after.CacheHits != 1 {
+		t.Errorf("cache hits = %d", after.CacheHits)
+	}
+}
+
+// TestAPICancel exercises DELETE on a running job: the job must end
+// cancelled, with the result endpoint reporting 410 Gone.
+func TestAPICancel(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	ts, _ := newTestServer(t, blockingRegistry(started, release), Options{Workers: 1})
+	spec := validPSASpec()
+	spec.Engine = EngineSerial
+	st := submitJob(t, ts.URL, spec)
+	<-started
+	code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, "")
+	if code != http.StatusOK {
+		t.Fatalf("cancel: got %d", code)
+	}
+	st = pollJob(t, ts.URL, st.ID)
+	if st.State != StateCancelled {
+		t.Fatalf("job finished %s, want cancelled", st.State)
+	}
+	if _, code := fetchResult(t, ts.URL, st.ID); code != http.StatusGone {
+		t.Errorf("result of cancelled job: got %d, want 410", code)
+	}
+	// Cancelling an already-cancelled job is idempotent.
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, ""); code != http.StatusOK {
+		t.Errorf("re-cancel: got %d, want 200", code)
+	}
+}
+
+// TestAPIErrors covers the 400/404/409 paths.
+func TestAPIErrors(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	reg := blockingRegistry(started, release)
+	ts, _ := newTestServer(t, reg, Options{Workers: 1})
+
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", "{not json"); code != http.StatusBadRequest {
+		t.Errorf("bad body: got %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", `{"analysis":"psa","bogus_field":1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field: got %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", `{"analysis":"docking","synth":{}}`); code != http.StatusBadRequest {
+		t.Errorf("bad spec: got %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/job-999999", ""); code != http.StatusNotFound {
+		t.Errorf("missing job: got %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/job-999999/result", ""); code != http.StatusNotFound {
+		t.Errorf("missing result: got %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/job-999999", ""); code != http.StatusNotFound {
+		t.Errorf("missing cancel: got %d", code)
+	}
+
+	// A still-running job has no result yet: 409.
+	spec := validPSASpec()
+	spec.Engine = EngineSerial
+	st := submitJob(t, ts.URL, spec)
+	<-started
+	if _, code := fetchResult(t, ts.URL, st.ID); code != http.StatusConflict {
+		t.Errorf("result of running job: got %d, want 409", code)
+	}
+}
+
+// TestAPIListAndHealth covers GET /v1/jobs and /healthz.
+func TestAPIListAndHealth(t *testing.T) {
+	ts, _ := newTestServer(t, DefaultRegistry(), Options{Workers: 1})
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/healthz", ""); code != http.StatusOK {
+		t.Fatalf("healthz: got %d", code)
+	}
+	st := submitJob(t, ts.URL, validPSASpec())
+	pollJob(t, ts.URL, st.ID)
+	code, raw := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs", "")
+	if code != http.StatusOK {
+		t.Fatalf("list: got %d", code)
+	}
+	var list []Status
+	if err := json.Unmarshal(raw, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Errorf("list = %+v", list)
+	}
+}

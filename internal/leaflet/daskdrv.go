@@ -18,7 +18,8 @@ import (
 // 524k-atom broadcast failed). Approaches 3 and 4 declare each task's
 // cdist working set, so a client MemoryLimit triggers Dask's
 // worker-restart behaviour on oversized blocks (§4.3.3).
-func RunDask(client *dask.Client, approach Approach, coords []linalg.Vec3, cutoff float64, nTasks int) (*Result, error) {
+func RunDask(client *dask.Client, approach Approach, coords []linalg.Vec3, cutoff float64, nTasks int, opts ...Option) (*Result, error) {
+	o := gatherOpts(opts)
 	n := len(coords)
 	switch approach {
 	case Broadcast1D:
@@ -32,6 +33,9 @@ func RunDask(client *dask.Client, approach Approach, coords []linalg.Vec3, cutof
 			s := s
 			nodes[i] = client.Delayed(fmt.Sprintf("edges-%d", i),
 				func(args []interface{}) (interface{}, error) {
+					if o.cancelled() {
+						return []graph.Edge(nil), nil
+					}
 					return rowChunkEdges(args[0].([]linalg.Vec3), s, cutoff), nil
 				}, scattered)
 		}
@@ -58,6 +62,9 @@ func RunDask(client *dask.Client, approach Approach, coords []linalg.Vec3, cutof
 			b := b
 			nodes[i] = client.DelayedMem(fmt.Sprintf("edges-%d", i), blockMemBytes(b),
 				func([]interface{}) (interface{}, error) {
+					if o.cancelled() {
+						return []graph.Edge(nil), nil
+					}
 					return blockEdgesBrute(coords, b, cutoff), nil
 				})
 		}
@@ -89,6 +96,9 @@ func RunDask(client *dask.Client, approach Approach, coords []linalg.Vec3, cutof
 			}
 			parts[i] = client.DelayedMem(fmt.Sprintf("partial-%d", i), mem,
 				func([]interface{}) (interface{}, error) {
+					if o.cancelled() {
+						return []partialOut{{}}, nil
+					}
 					edges := blockEdges(coords, b, cutoff, useTree)
 					comps := graph.PartialComponents(edges)
 					atomic.AddInt64(&edgeCount, int64(len(edges)))

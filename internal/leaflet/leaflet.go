@@ -100,13 +100,19 @@ type Result struct {
 
 // Serial computes the reference result on one goroutine, using a
 // BallTree for edge discovery so it stays usable on paper-sized systems.
-func Serial(coords []linalg.Vec3, cutoff float64) *Result {
+// A WithCancel option is polled every few thousand atoms; a cancelled
+// run returns its partial result, which the caller must discard.
+func Serial(coords []linalg.Vec3, cutoff float64, opts ...Option) *Result {
+	o := gatherOpts(opts)
 	n := len(coords)
 	tree := balltree.New(coords)
 	uf := graph.NewUnionFind(n)
 	var edges int64
 	var buf []int32
 	for i := 0; i < n; i++ {
+		if i%4096 == 0 && o.cancelled() {
+			break
+		}
 		buf = tree.QueryRadiusAppend(buf[:0], coords[i], cutoff)
 		for _, j := range buf {
 			if j > int32(i) {

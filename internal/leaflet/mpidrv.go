@@ -2,6 +2,7 @@ package leaflet
 
 import (
 	"fmt"
+	"time"
 
 	"mdtask/internal/graph"
 	"mdtask/internal/linalg"
@@ -14,10 +15,11 @@ import (
 // (the paper's "realized as a loop for MPI"), and results are gathered
 // to rank 0 where the final components are computed. nTasks bounds the
 // 2-D tiling granularity; the tiles are cycled over the ranks.
-func RunMPI(ranks int, approach Approach, coords []linalg.Vec3, cutoff float64, nTasks int) (*Result, error) {
+func RunMPI(ranks int, approach Approach, coords []linalg.Vec3, cutoff float64, nTasks int, opts ...Option) (*Result, error) {
+	o := gatherOpts(opts)
 	n := len(coords)
 	var result *Result
-	err := mpi.Run(ranks, nil, func(c *mpi.Comm) error {
+	err := mpi.Run(ranks, o.metrics, func(c *mpi.Comm) error {
 		switch approach {
 		case Broadcast1D:
 			// MPI_Bcast the system; each rank computes one row chunk.
@@ -28,8 +30,10 @@ func RunMPI(ranks int, approach Approach, coords []linalg.Vec3, cutoff float64, 
 			system = mpi.Bcast(c, 0, system, CoordBytes(n))
 			chunks := chunks1D(n, c.Size())
 			var local []graph.Edge
-			if c.Rank() < len(chunks) {
+			if c.Rank() < len(chunks) && !o.cancelled() {
+				start := time.Now()
 				local = rowChunkEdges(system, chunks[c.Rank()], cutoff)
+				o.recordTask(start)
 			}
 			gathered := mpi.Gather(c, 0, local, graph.EdgeBytes(len(local)))
 			if c.Rank() == 0 {
@@ -50,7 +54,12 @@ func RunMPI(ranks int, approach Approach, coords []linalg.Vec3, cutoff float64, 
 			blocks := blocks2D(n, nTasks)
 			var local []graph.Edge
 			for i := c.Rank(); i < len(blocks); i += c.Size() {
+				if o.cancelled() {
+					break
+				}
+				start := time.Now()
 				local = append(local, blockEdgesBrute(coords, blocks[i], cutoff)...)
+				o.recordTask(start)
 			}
 			gathered := mpi.Gather(c, 0, local, graph.EdgeBytes(len(local)))
 			if c.Rank() == 0 {
@@ -71,7 +80,12 @@ func RunMPI(ranks int, approach Approach, coords []linalg.Vec3, cutoff float64, 
 			blocks := blocks2D(n, nTasks)
 			local := partialOut{}
 			for i := c.Rank(); i < len(blocks); i += c.Size() {
+				if o.cancelled() {
+					break
+				}
+				start := time.Now()
 				edges := blockEdges(coords, blocks[i], cutoff, useTree)
+				o.recordTask(start)
 				comps := graph.PartialComponents(edges)
 				local.Comps = mergePartialSets(local.Comps, comps)
 				local.Edges += int64(len(edges))

@@ -1,0 +1,45 @@
+package leaflet
+
+import (
+	"time"
+
+	"mdtask/internal/engine"
+)
+
+// Option configures a driver run. The zero set of options preserves the
+// historical behaviour of every driver.
+type Option func(*runOpts)
+
+type runOpts struct {
+	cancel  func() bool
+	metrics *engine.Metrics
+}
+
+func (o runOpts) cancelled() bool { return o.cancel != nil && o.cancel() }
+
+// recordTask accounts one task started at start into the metrics sink,
+// if one was supplied.
+func (o runOpts) recordTask(start time.Time) {
+	if o.metrics != nil {
+		o.metrics.RecordTask(time.Since(start))
+	}
+}
+
+func gatherOpts(opts []Option) runOpts {
+	var o runOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithCancel installs a cooperative cancellation flag: tasks poll it at
+// block boundaries and skip their remaining work once it reports true,
+// so a run drains quickly instead of completing. The caller is
+// responsible for discarding the partial result of a cancelled run.
+func WithCancel(fn func() bool) Option { return func(o *runOpts) { o.cancel = fn } }
+
+// WithMetrics directs the engine accounting of runners that do not carry
+// their own metrics-bearing context (RunMPI) into m. The rdd, dask and
+// pilot runners account through their Context/Client/Pilot instead.
+func WithMetrics(m *engine.Metrics) Option { return func(o *runOpts) { o.metrics = m } }

@@ -20,7 +20,8 @@ import (
 // intermediate data moves through the filesystem, as RADICAL-Pilot's
 // architecture requires (§3.3, Table 1: "no shuffle, filesystem-based
 // communication").
-func RunPilot(p *pilot.Pilot, coords []linalg.Vec3, cutoff float64, nTasks int) (*Result, error) {
+func RunPilot(p *pilot.Pilot, coords []linalg.Vec3, cutoff float64, nTasks int, opts ...Option) (*Result, error) {
+	o := gatherOpts(opts)
 	n := len(coords)
 	blocks := blocks2D(n, nTasks)
 	descs := make([]pilot.UnitDescription, len(blocks))
@@ -37,6 +38,11 @@ func RunPilot(p *pilot.Pilot, coords []linalg.Vec3, cutoff float64, nTasks int) 
 			InputFiles:  inputs,
 			OutputFiles: []string{"edges.bin"},
 			Fn: func(sandbox string) error {
+				if o.cancelled() {
+					// Emit an empty edge file; the job layer discards the
+					// result of a cancelled run.
+					return os.WriteFile(filepath.Join(sandbox, "edges.bin"), nil, 0o644)
+				}
 				rows, err := readCoords(filepath.Join(sandbox, "rows.bin"))
 				if err != nil {
 					return err

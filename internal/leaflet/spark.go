@@ -12,7 +12,8 @@ import (
 // RunRDD executes the Leaflet Finder on the Spark-like engine with the
 // selected architectural approach. nTasks bounds the number of map
 // tasks (the paper uses 1024 partitions).
-func RunRDD(ctx *rdd.Context, approach Approach, coords []linalg.Vec3, cutoff float64, nTasks int) (*Result, error) {
+func RunRDD(ctx *rdd.Context, approach Approach, coords []linalg.Vec3, cutoff float64, nTasks int, opts ...Option) (*Result, error) {
+	o := gatherOpts(opts)
 	n := len(coords)
 	switch approach {
 	case Broadcast1D:
@@ -22,6 +23,9 @@ func RunRDD(ctx *rdd.Context, approach Approach, coords []linalg.Vec3, cutoff fl
 		chunks := chunks1D(n, nTasks)
 		r := rdd.Parallelize(ctx, chunks, len(chunks))
 		edges, err := rdd.FlatMap(r, func(s span) ([]graph.Edge, error) {
+			if o.cancelled() {
+				return nil, nil
+			}
 			return rowChunkEdges(bc.Value, s, cutoff), nil
 		}).Collect()
 		if err != nil {
@@ -41,6 +45,9 @@ func RunRDD(ctx *rdd.Context, approach Approach, coords []linalg.Vec3, cutoff fl
 		blocks := blocks2D(n, nTasks)
 		r := rdd.Parallelize(ctx, blocks, len(blocks))
 		edges, err := rdd.FlatMap(r, func(b block) ([]graph.Edge, error) {
+			if o.cancelled() {
+				return nil, nil
+			}
 			return blockEdgesBrute(coords, b, cutoff), nil
 		}).Collect()
 		if err != nil {
@@ -61,6 +68,9 @@ func RunRDD(ctx *rdd.Context, approach Approach, coords []linalg.Vec3, cutoff fl
 		var edgeCount, shuffleBytes int64
 		r := rdd.Parallelize(ctx, blocks, len(blocks))
 		partials := rdd.Map(r, func(b block) (partialOut, error) {
+			if o.cancelled() {
+				return partialOut{}, nil
+			}
 			edges := blockEdges(coords, b, cutoff, useTree)
 			comps := graph.PartialComponents(edges)
 			atomic.AddInt64(&edgeCount, int64(len(edges)))

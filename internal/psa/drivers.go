@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mdtask/internal/dask"
 	"mdtask/internal/hausdorff"
@@ -70,10 +71,14 @@ func RunMPI(ranks int, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
 		return nil, err
 	}
 	var out *Matrix
-	err = mpi.Run(ranks, nil, func(c *mpi.Comm) error {
+	err = mpi.Run(ranks, opts.Metrics, func(c *mpi.Comm) error {
 		var local []BlockResult
 		for i := c.Rank(); i < len(blocks); i += c.Size() {
+			start := time.Now()
 			local = append(local, ComputeBlock(ens, blocks[i], opts))
+			if opts.Metrics != nil {
+				opts.Metrics.RecordTask(time.Since(start))
+			}
 		}
 		var bytes int64
 		for _, r := range local {
@@ -129,6 +134,12 @@ func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, er
 			InputFiles:  inputs,
 			OutputFiles: []string{"distances.bin"},
 			Fn: func(sandbox string) error {
+				if opts.cancelled() {
+					// Emit a zero-valued block of the expected shape; the
+					// job layer discards the matrix of a cancelled run.
+					zeros := make([]float64, b.TaskPairs(opts.Symmetric))
+					return os.WriteFile(filepath.Join(sandbox, "distances.bin"), encodeFloats(zeros), 0o644)
+				}
 				// Read each staged trajectory once per unit, not once
 				// per pair.
 				cache := make(map[int]*traj.Trajectory)

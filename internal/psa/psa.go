@@ -9,6 +9,7 @@ package psa
 import (
 	"fmt"
 
+	"mdtask/internal/engine"
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/traj"
 )
@@ -40,7 +41,20 @@ type Opts struct {
 	Symmetric bool
 	// Method selects the Hausdorff inner-loop algorithm.
 	Method hausdorff.Method
+	// Cancel, when non-nil, is polled cooperatively at block boundaries.
+	// Once it reports true the remaining blocks are skipped (their values
+	// are left zero), so a run drains quickly; the caller is responsible
+	// for discarding the partial matrix. Serial additionally polls it
+	// between rows.
+	Cancel func() bool
+	// Metrics, when non-nil, receives engine accounting for the runners
+	// that do not carry their own metrics-bearing context (RunMPI; the
+	// rdd/dask/pilot runners account through their Context/Client/Pilot).
+	Metrics *engine.Metrics
 }
+
+// cancelled reports whether a cooperative cancellation was requested.
+func (o Opts) cancelled() bool { return o.Cancel != nil && o.Cancel() }
 
 // Block is one task of the 2-D partitioning: the sub-matrix
 // [I0,I1) × [J0,J1) of the output distance matrix (Algorithm 2: an
@@ -136,6 +150,15 @@ type BlockResult struct {
 // diagonal block computes only its strict upper triangle — the zero
 // self-distances and the mirror pairs are skipped.
 func ComputeBlock(ens traj.Ensemble, b Block, opts Opts) BlockResult {
+	if opts.cancelled() {
+		// Leave the block zero-valued so downstream shape checks hold;
+		// the job layer discards the matrix of a cancelled run.
+		return BlockResult{
+			Block:     b,
+			Values:    make([]float64, b.TaskPairs(opts.Symmetric)),
+			Symmetric: opts.Symmetric,
+		}
+	}
 	vals := make([]float64, 0, b.TaskPairs(opts.Symmetric))
 	skipMirror := opts.Symmetric && b.Diagonal()
 	for i := b.I0; i < b.I1; i++ {
@@ -197,6 +220,9 @@ func Serial(ens traj.Ensemble, opts Opts) (*Matrix, error) {
 	out := NewMatrix(len(ens))
 	if opts.Symmetric {
 		for i := range ens {
+			if opts.cancelled() {
+				return out, nil
+			}
 			for j := i + 1; j < len(ens); j++ {
 				d := hausdorff.Distance(ens[i], ens[j], opts.Method)
 				out.Set(i, j, d)
@@ -206,6 +232,9 @@ func Serial(ens traj.Ensemble, opts Opts) (*Matrix, error) {
 		return out, nil
 	}
 	for i := range ens {
+		if opts.cancelled() {
+			return out, nil
+		}
 		for j := range ens {
 			out.Set(i, j, hausdorff.Distance(ens[i], ens[j], opts.Method))
 		}
