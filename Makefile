@@ -2,7 +2,7 @@ GO ?= go
 SERVE_ADDR ?= :8077
 SMOKE_PORT ?= 18077
 
-.PHONY: build test bench fmt vet serve smoke-serve
+.PHONY: build test bench bench-json fmt vet serve smoke-serve
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,13 @@ smoke-serve:
 	echo "smoke-serve OK"
 
 bench:
-	$(GO) test -bench PSA -run '^$$' ./internal/bench/
+	$(GO) test -bench 'PSA|Hausdorff' -run '^$$' ./internal/bench/
+
+# Record the PSA Hausdorff kernel perf trajectory (ns/op + frame-pair
+# counters + pruned fraction per kernel method) to BENCH_psa.json.
+bench-json:
+	MDTASK_BENCH_JSON=$(CURDIR)/BENCH_psa.json $(GO) test -count=1 ./internal/bench/ -run TestWriteBenchPSAJSON -v
+	@cat $(CURDIR)/BENCH_psa.json
 
 fmt:
 	gofmt -l .

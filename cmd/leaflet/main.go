@@ -33,10 +33,27 @@ func main() {
 		tasks    = flag.Int("tasks", 1024, "map task count")
 	)
 	flag.Parse()
+	// Reject unknown selector values at flag-parse time, before any input
+	// is loaded or a run starts; the errors list the valid values.
+	if err := validateFlags(*engine, *approach); err != nil {
+		fmt.Fprintln(os.Stderr, "leaflet:", err)
+		os.Exit(2)
+	}
 	if err := run(*in, *atoms, *seed, *engine, *approach, *cutoff, *parallel, *tasks); err != nil {
 		fmt.Fprintln(os.Stderr, "leaflet:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags checks the enumerated flag values up front.
+func validateFlags(engineName, approachName string) error {
+	if _, err := jobs.ParseEngine(engineName); err != nil {
+		return fmt.Errorf("-engine: %w", err)
+	}
+	if _, _, err := jobs.ParseApproach(approachName); err != nil {
+		return fmt.Errorf("-approach: %w", err)
+	}
+	return nil
 }
 
 func run(in string, atoms int, seed uint64, engineName, approachName string,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mdtask/internal/synth"
@@ -33,6 +34,24 @@ func TestRunFromFile(t *testing.T) {
 	}
 	if err := run(path, 0, 0, "mpi", "3", synth.BilayerCutoff, 2, 8); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Selector flags are rejected up front, before any input is read, with
+// errors that list the valid values.
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags("spark", "tree"); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+	if err := validateFlags("hadoop", "tree"); err == nil {
+		t.Error("bad engine passed validation")
+	} else if want := "serial|spark|dask|mpi|pilot"; !strings.Contains(err.Error(), want) {
+		t.Errorf("engine error %q does not list valid values %q", err, want)
+	}
+	if err := validateFlags("spark", "bogus"); err == nil {
+		t.Error("bad approach passed validation")
+	} else if want := "broadcast|task2d|parallel-cc|tree"; !strings.Contains(err.Error(), want) {
+		t.Errorf("approach error %q does not list valid values %q", err, want)
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	psa -in data/ -engine dask -parallel 8 -method early-break
+//	psa -in data/ -engine dask -parallel 8 -method pruned
 //	psa -in data/ -engine serial           # single-goroutine reference
 //	psa -in data/ -engine mpi -sym=false   # paper-faithful full N×N schedule
 package main
@@ -26,16 +26,33 @@ func main() {
 		in       = flag.String("in", ".", "directory of .mdt trajectory files")
 		engine   = flag.String("engine", "dask", "engine: serial | mpi | spark | dask | pilot")
 		parallel = flag.Int("parallel", 0, "worker/rank count (0: automatic)")
-		method   = flag.String("method", "naive", "hausdorff method: naive | early-break")
+		method   = flag.String("method", "naive", "hausdorff method: naive | early-break | pruned")
 		tasks    = flag.Int("tasks", 0, "task count (0: one per worker)")
 		clusters = flag.Int("clusters", 0, "also cluster trajectories into k groups (0: off)")
 		sym      = flag.Bool("sym", true, "exploit H(A,B)=H(B,A): schedule only diagonal+upper blocks (-sym=false: paper-faithful full matrix)")
 	)
 	flag.Parse()
+	// Reject unknown selector values at flag-parse time, before any input
+	// is loaded or a run starts; the errors list the valid values.
+	if err := validateFlags(*engine, *method); err != nil {
+		fmt.Fprintln(os.Stderr, "psa:", err)
+		os.Exit(2)
+	}
 	if err := run(*in, *engine, *parallel, *method, *tasks, *clusters, *sym); err != nil {
 		fmt.Fprintln(os.Stderr, "psa:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags checks the enumerated flag values up front.
+func validateFlags(engineName, methodName string) error {
+	if _, err := jobs.ParseEngine(engineName); err != nil {
+		return fmt.Errorf("-engine: %w", err)
+	}
+	if _, err := jobs.ParseMethod(methodName); err != nil {
+		return fmt.Errorf("-method: %w", err)
+	}
+	return nil
 }
 
 func run(in, engineName string, parallel int, methodName string, tasks, clusters int, sym bool) error {
@@ -67,6 +84,8 @@ func run(in, engineName string, parallel int, methodName string, tasks, clusters
 	}
 	fmt.Printf("engine=%s method=%s schedule=%s tasks=%d elapsed=%s\n",
 		engineName, methodName, schedule, metrics.Tasks, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("kernel frame pairs: evaluated=%d pruned=%d abandoned=%d\n",
+		metrics.PairsEvaluated, metrics.PairsPruned, metrics.PairsAbandoned)
 	for i := 0; i < mat.N; i++ {
 		for j := 0; j < mat.N; j++ {
 			fmt.Printf("%8.3f", mat.At(i, j))

@@ -2,6 +2,7 @@ package main
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mdtask/internal/synth"
@@ -38,6 +39,12 @@ func TestRunSerialEngine(t *testing.T) {
 	}
 }
 
+func TestRunPrunedMethod(t *testing.T) {
+	if err := run(writeEnsemble(t), "dask", 2, "pruned", 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run(t.TempDir(), "spark", 1, "naive", 0, 0, true); err == nil {
 		t.Error("empty directory accepted")
@@ -47,5 +54,23 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(t.TempDir(), "spark", 1, "bogus", 0, 0, true); err == nil {
 		t.Error("bad method accepted")
+	}
+}
+
+// Selector flags are rejected up front, before any input is read, with
+// errors that list the valid values.
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags("dask", "pruned"); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+	if err := validateFlags("hadoop", "naive"); err == nil {
+		t.Error("bad engine passed validation")
+	} else if want := "serial|spark|dask|mpi|pilot"; !strings.Contains(err.Error(), want) {
+		t.Errorf("engine error %q does not list valid values %q", err, want)
+	}
+	if err := validateFlags("dask", "exact"); err == nil {
+		t.Error("bad method passed validation")
+	} else if want := "naive|early-break|pruned"; !strings.Contains(err.Error(), want) {
+		t.Errorf("method error %q does not list valid values %q", err, want)
 	}
 }

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"mdtask/internal/engine"
+	"mdtask/internal/hausdorff"
+	"mdtask/internal/psa"
+	"mdtask/internal/synth"
+	"mdtask/internal/traj"
+)
+
+// The BenchmarkHausdorff* family compares the three exact Hausdorff
+// kernels — naive, early-break (Taha & Hanbury) and pruned (centroid/
+// radius-of-gyration lower bounds + bounded-dRMS early-abandon +
+// temporal-coherence ordering) — on two synthetic regimes:
+//
+//   - walk: every trajectory equilibrates in place around its own random
+//     configuration (the existing benchPSAEnsemble). Centroids barely
+//     move, so pruning must come from bounded evaluation and the
+//     early-break row cut.
+//   - path: trajectories diverge from a shared starting configuration
+//     along different directions (synth.PathEnsemble), the
+//     transition-path regime Path Similarity Analysis targets. Frame
+//     centroids separate over time, so the O(1) centroid bound and the
+//     temporal row bound dominate.
+//
+// Each benchmark reports the exact frame-pair counter values alongside
+// wall time. Run with:
+//
+//	go test -bench Hausdorff ./internal/bench
+//
+// make bench-json records the numbers (ns/op + counters + the
+// full-evaluation reduction versus early-break) in BENCH_psa.json.
+
+// benchPathEnsemble mirrors benchPSAEnsemble's dimensions in the
+// diverging-path regime.
+func benchPathEnsemble() traj.Ensemble {
+	return synth.PathEnsemble(benchPSATrajs, benchPSAAtoms, benchPSAFrames, 43)
+}
+
+// kernelCounters runs one serial PSA pass and returns the kernel's
+// frame-pair accounting. The counters are a pure function of the
+// ensemble and method — identical on every engine and every run.
+func kernelCounters(ens traj.Ensemble, m hausdorff.Method) engine.Metrics {
+	sink := &engine.Metrics{}
+	if _, err := psa.Serial(ens, psa.Opts{Symmetric: true, Method: m, Metrics: sink}); err != nil {
+		panic(err)
+	}
+	return sink.Snapshot()
+}
+
+// benchHausdorff times one kernel over one ensemble and reports its
+// exact pair accounting.
+func benchHausdorff(b *testing.B, ens traj.Ensemble, m hausdorff.Method) {
+	b.Helper()
+	s := kernelCounters(ens, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := psa.Serial(ens, psa.Opts{Symmetric: true, Method: m}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := s.PairsEvaluated + s.PairsPruned + s.PairsAbandoned
+	b.ReportMetric(float64(s.PairsEvaluated), "evaluated-pairs")
+	b.ReportMetric(float64(s.PairsPruned), "pruned-pairs")
+	b.ReportMetric(float64(s.PairsAbandoned), "abandoned-pairs")
+	if total > 0 {
+		b.ReportMetric(float64(total-s.PairsEvaluated)/float64(total), "pruned-fraction")
+	}
+}
+
+func benchHausdorffEnsembles(b *testing.B, m hausdorff.Method) {
+	b.Helper()
+	b.Run("walk", func(b *testing.B) { benchHausdorff(b, benchPSAEnsemble(), m) })
+	b.Run("path", func(b *testing.B) { benchHausdorff(b, benchPathEnsemble(), m) })
+}
+
+func BenchmarkHausdorffNaive(b *testing.B)      { benchHausdorffEnsembles(b, hausdorff.Naive) }
+func BenchmarkHausdorffEarlyBreak(b *testing.B) { benchHausdorffEnsembles(b, hausdorff.EarlyBreak) }
+func BenchmarkHausdorffPruned(b *testing.B)     { benchHausdorffEnsembles(b, hausdorff.Pruned) }
+
+// TestPrunedKernelEvalReduction pins the headline number of the pruned
+// kernel pipeline: on both synthetic ensemble regimes it must perform
+// at least 3× fewer full dRMS evaluations than early-break while
+// producing the identical matrix, with self-consistent counters. The
+// counters are deterministic, so this is an exact assertion, not a
+// timing-dependent one.
+func TestPrunedKernelEvalReduction(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ens  traj.Ensemble
+	}{
+		{"walk", benchPSAEnsemble()},
+		{"path", benchPathEnsemble()},
+	} {
+		want, err := psa.Serial(tc.ens, psa.Opts{Method: hausdorff.Naive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := psa.Serial(tc.ens, psa.Opts{Symmetric: true, Method: hausdorff.Pruned})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("%s: element %d: pruned %v != naive %v", tc.name, i, got.Data[i], want.Data[i])
+			}
+		}
+		eb := kernelCounters(tc.ens, hausdorff.EarlyBreak)
+		pr := kernelCounters(tc.ens, hausdorff.Pruned)
+		if pr.PairsEvaluated == 0 {
+			t.Fatalf("%s: pruned kernel recorded no evaluations", tc.name)
+		}
+		if ratio := float64(eb.PairsEvaluated) / float64(pr.PairsEvaluated); ratio < 3 {
+			t.Errorf("%s: pruned performs only %.2fx fewer full dRMS evaluations than early-break "+
+				"(early-break %d, pruned %d), want >= 3x",
+				tc.name, ratio, eb.PairsEvaluated, pr.PairsEvaluated)
+		}
+		ebTotal := eb.PairsEvaluated + eb.PairsPruned + eb.PairsAbandoned
+		prTotal := pr.PairsEvaluated + pr.PairsPruned + pr.PairsAbandoned
+		if ebTotal != prTotal {
+			t.Errorf("%s: kernel pair totals disagree: early-break %d, pruned %d", tc.name, ebTotal, prTotal)
+		}
+	}
+}
+
+// benchJSONEntry is one method's record in BENCH_psa.json.
+type benchJSONEntry struct {
+	Method         string  `json:"method"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	PairsEvaluated int64   `json:"pairs_evaluated"`
+	PairsPruned    int64   `json:"pairs_pruned"`
+	PairsAbandoned int64   `json:"pairs_abandoned"`
+	PrunedFraction float64 `json:"pruned_fraction"`
+}
+
+type benchJSONEnsemble struct {
+	Kind           string           `json:"kind"`
+	Trajectories   int              `json:"trajectories"`
+	Atoms          int              `json:"atoms"`
+	Frames         int              `json:"frames"`
+	Methods        []benchJSONEntry `json:"methods"`
+	EvalReduction  float64          `json:"full_eval_reduction_vs_early_break"`
+	SpeedupVsNaive float64          `json:"pruned_speedup_vs_naive"`
+}
+
+// TestWriteBenchPSAJSON records the kernel perf trajectory to the file
+// named by MDTASK_BENCH_JSON (skipped when unset — it is driven by
+// `make bench-json`, which CI runs as a non-gating step).
+func TestWriteBenchPSAJSON(t *testing.T) {
+	out := os.Getenv("MDTASK_BENCH_JSON")
+	if out == "" {
+		t.Skip("MDTASK_BENCH_JSON not set; run via make bench-json")
+	}
+	report := struct {
+		Benchmark string              `json:"benchmark"`
+		Ensembles []benchJSONEnsemble `json:"ensembles"`
+	}{Benchmark: "psa-hausdorff-kernel"}
+	for _, tc := range []struct {
+		kind string
+		ens  traj.Ensemble
+	}{
+		{"walk", benchPSAEnsemble()},
+		{"path", benchPathEnsemble()},
+	} {
+		e := benchJSONEnsemble{
+			Kind:         tc.kind,
+			Trajectories: benchPSATrajs,
+			Atoms:        benchPSAAtoms,
+			Frames:       benchPSAFrames,
+		}
+		nsPerOp := make(map[string]int64)
+		evaluated := make(map[string]int64)
+		for _, m := range hausdorff.Methods {
+			m := m
+			r := testing.Benchmark(func(b *testing.B) { benchHausdorff(b, tc.ens, m) })
+			s := kernelCounters(tc.ens, m)
+			total := s.PairsEvaluated + s.PairsPruned + s.PairsAbandoned
+			entry := benchJSONEntry{
+				Method:         m.String(),
+				NsPerOp:        r.NsPerOp(),
+				PairsEvaluated: s.PairsEvaluated,
+				PairsPruned:    s.PairsPruned,
+				PairsAbandoned: s.PairsAbandoned,
+			}
+			if total > 0 {
+				entry.PrunedFraction = float64(total-s.PairsEvaluated) / float64(total)
+			}
+			nsPerOp[m.String()] = r.NsPerOp()
+			evaluated[m.String()] = s.PairsEvaluated
+			e.Methods = append(e.Methods, entry)
+		}
+		if evaluated["pruned"] > 0 {
+			e.EvalReduction = float64(evaluated["early-break"]) / float64(evaluated["pruned"])
+		}
+		if nsPerOp["pruned"] > 0 {
+			e.SpeedupVsNaive = float64(nsPerOp["naive"]) / float64(nsPerOp["pruned"])
+		}
+		report.Ensembles = append(report.Ensembles, e)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -26,6 +26,15 @@ type Metrics struct {
 	BytesBroadcast int64
 	BytesStaged    int64 // pilot file staging
 	Failures       int64
+
+	// Hausdorff kernel frame-pair accounting (see hausdorff.Counters):
+	// pairs whose dRMS ran to completion, pairs dismissed in O(1) by a
+	// pruning bound or the early-break row cut, and evaluations
+	// abandoned mid-sum. Their sum is the total frame pairs scheduled,
+	// whatever the kernel method.
+	PairsEvaluated int64
+	PairsPruned    int64
+	PairsAbandoned int64
 }
 
 // RecordTask accounts one completed task of the given duration.
@@ -57,6 +66,14 @@ func (m *Metrics) AddStaged(n int64) { atomic.AddInt64(&m.BytesStaged, n) }
 // RecordFailure accounts one failed task.
 func (m *Metrics) RecordFailure() { atomic.AddInt64(&m.Failures, 1) }
 
+// AddPairs accounts Hausdorff kernel frame-pair work: full evaluations,
+// O(1)-pruned pairs, and mid-sum abandons.
+func (m *Metrics) AddPairs(evaluated, pruned, abandoned int64) {
+	atomic.AddInt64(&m.PairsEvaluated, evaluated)
+	atomic.AddInt64(&m.PairsPruned, pruned)
+	atomic.AddInt64(&m.PairsAbandoned, abandoned)
+}
+
 // Snapshot returns a copy of the metrics safe to read.
 func (m *Metrics) Snapshot() Metrics {
 	m.mu.Lock()
@@ -71,6 +88,9 @@ func (m *Metrics) Snapshot() Metrics {
 		BytesBroadcast: atomic.LoadInt64(&m.BytesBroadcast),
 		BytesStaged:    atomic.LoadInt64(&m.BytesStaged),
 		Failures:       atomic.LoadInt64(&m.Failures),
+		PairsEvaluated: atomic.LoadInt64(&m.PairsEvaluated),
+		PairsPruned:    atomic.LoadInt64(&m.PairsPruned),
+		PairsAbandoned: atomic.LoadInt64(&m.PairsAbandoned),
 	}
 }
 
@@ -97,6 +117,7 @@ func (m *Metrics) MergeFrom(other *Metrics) {
 	atomic.AddInt64(&m.BytesBroadcast, s.BytesBroadcast)
 	atomic.AddInt64(&m.BytesStaged, s.BytesStaged)
 	atomic.AddInt64(&m.Failures, s.Failures)
+	m.AddPairs(s.PairsEvaluated, s.PairsPruned, s.PairsAbandoned)
 }
 
 // TaskPanicError wraps a panic recovered from a task so callers get an

@@ -102,6 +102,22 @@ func TestMetricsAccounting(t *testing.T) {
 	}
 }
 
+func TestMetricsPairCounters(t *testing.T) {
+	m := &Metrics{}
+	m.AddPairs(10, 20, 5)
+	m.AddPairs(1, 2, 3)
+	s := m.Snapshot()
+	if s.PairsEvaluated != 11 || s.PairsPruned != 22 || s.PairsAbandoned != 8 {
+		t.Errorf("pairs = %d/%d/%d", s.PairsEvaluated, s.PairsPruned, s.PairsAbandoned)
+	}
+	agg := &Metrics{}
+	agg.AddPairs(100, 0, 0)
+	agg.MergeFrom(m)
+	if got := agg.Snapshot(); got.PairsEvaluated != 111 || got.PairsPruned != 22 || got.PairsAbandoned != 8 {
+		t.Errorf("merged pairs = %d/%d/%d", got.PairsEvaluated, got.PairsPruned, got.PairsAbandoned)
+	}
+}
+
 func TestTimed(t *testing.T) {
 	d, err := Timed(func() error {
 		time.Sleep(5 * time.Millisecond)

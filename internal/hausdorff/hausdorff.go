@@ -1,18 +1,22 @@
 // Package hausdorff implements the Hausdorff distance between MD
 // trajectories (the paper's Algorithm 1) with the dRMS frame metric,
 // plus the early-break optimization of Taha & Hanbury that the paper
-// cites as the known sequential speedup, and the 2D-RMSD matrix variant
-// computed by CPPTraj (Algorithm 1 with no min–max reduction).
+// cites as the known sequential speedup, a pruned kernel that combines
+// exact centroid/radius-of-gyration lower bounds with bounded-dRMS
+// early-abandon (pruned.go), and the 2D-RMSD matrix variant computed by
+// CPPTraj (Algorithm 1 with no min–max reduction).
 package hausdorff
 
 import (
+	"fmt"
 	"math"
 
 	"mdtask/internal/linalg"
 	"mdtask/internal/traj"
 )
 
-// Method selects the Hausdorff inner-loop algorithm.
+// Method selects the Hausdorff inner-loop algorithm. All methods are
+// exact: they produce bit-identical distances.
 type Method int
 
 const (
@@ -21,6 +25,14 @@ const (
 	// EarlyBreak aborts the inner scan as soon as a frame distance drops
 	// below the running maximum (Taha & Hanbury 2015).
 	EarlyBreak
+	// Pruned adds O(1) frame-pair pruning on top of EarlyBreak: the exact
+	// centroid/radius-of-gyration lower bound skips whole pairs, dRMS
+	// evaluations early-abandon once their partial sum exceeds the
+	// running minimum, and the inner scan starts at the previous outer
+	// frame's argmin to exploit the temporal coherence of MD
+	// trajectories. It operates on the packed representation of
+	// traj.Packed.
+	Pruned
 )
 
 // String returns the method name.
@@ -30,8 +42,78 @@ func (m Method) String() string {
 		return "naive"
 	case EarlyBreak:
 		return "early-break"
+	case Pruned:
+		return "pruned"
 	default:
 		return "unknown"
+	}
+}
+
+// ParseMethod canonicalizes a method name ("" defaults to naive).
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "", "naive":
+		return Naive, nil
+	case "early-break":
+		return EarlyBreak, nil
+	case "pruned":
+		return Pruned, nil
+	default:
+		return 0, fmt.Errorf("hausdorff: unknown method %q (want naive|early-break|pruned)", s)
+	}
+}
+
+// Methods lists every kernel method.
+var Methods = []Method{Naive, EarlyBreak, Pruned}
+
+// Counters tallies the frame-pair work of one or more kernel
+// invocations. Every frame pair a directed scan considers lands in
+// exactly one bucket, so for non-empty inputs
+// Evaluated + Pruned + Abandoned equals the directed pair count
+// (2·|A|·|B| for the symmetric distance). The zero value is ready to
+// use; methods are nil-safe so callers that don't account can pass nil.
+// A Counters is not safe for concurrent use — accumulate per task and
+// merge (see engine.Metrics.AddPairs for the concurrent aggregate).
+type Counters struct {
+	// Evaluated counts dRMS evaluations run to completion over all atoms.
+	Evaluated int64
+	// Pruned counts frame pairs dismissed in O(1), without touching any
+	// atom: skipped by the centroid/radius-of-gyration lower bound, by
+	// the temporal-coherence row bound, or by the early-break row cut.
+	Pruned int64
+	// Abandoned counts dRMS evaluations abandoned mid-sum once the
+	// partial sum proved the pair could not lower the running minimum.
+	Abandoned int64
+}
+
+// Add folds another tally into c.
+func (c *Counters) Add(o Counters) {
+	if c == nil {
+		return
+	}
+	c.Evaluated += o.Evaluated
+	c.Pruned += o.Pruned
+	c.Abandoned += o.Abandoned
+}
+
+// Total returns the number of frame pairs accounted.
+func (c Counters) Total() int64 { return c.Evaluated + c.Pruned + c.Abandoned }
+
+func (c *Counters) eval() {
+	if c != nil {
+		c.Evaluated++
+	}
+}
+
+func (c *Counters) prune(n int64) {
+	if c != nil {
+		c.Pruned += n
+	}
+}
+
+func (c *Counters) abandon() {
+	if c != nil {
+		c.Abandoned++
 	}
 }
 
@@ -40,10 +122,15 @@ func (m Method) String() string {
 // evaluating every pair. It returns 0 when A is empty and +Inf when A is
 // non-empty but B is empty.
 func DirectedNaive(a, b [][]linalg.Vec3) float64 {
+	return directedNaive(a, b, nil)
+}
+
+func directedNaive(a, b [][]linalg.Vec3, c *Counters) float64 {
 	var cmax float64
 	for _, fa := range a {
 		cmin := math.Inf(1)
 		for _, fb := range b {
+			c.eval()
 			if d := linalg.DRMS(fa, fb); d < cmin {
 				cmin = d
 			}
@@ -59,13 +146,19 @@ func DirectedNaive(a, b [][]linalg.Vec3) float64 {
 // DirectedNaive but breaks out of the inner scan once a distance below
 // the running maximum proves the current frame cannot raise it.
 func DirectedEarlyBreak(a, b [][]linalg.Vec3) float64 {
+	return directedEarlyBreak(a, b, nil)
+}
+
+func directedEarlyBreak(a, b [][]linalg.Vec3, c *Counters) float64 {
 	var cmax float64
 	for _, fa := range a {
 		cmin := math.Inf(1)
-		for _, fb := range b {
+		for j, fb := range b {
+			c.eval()
 			d := linalg.DRMS(fa, fb)
 			if d < cmax {
 				cmin = d
+				c.prune(int64(len(b) - j - 1))
 				break
 			}
 			if d < cmin {
@@ -93,8 +186,17 @@ func Frames(t *traj.Trajectory) [][]linalg.Vec3 {
 // H(A,B) = max(h(A→B), h(B→A)) between two trajectories with the chosen
 // method. Both trajectories must have the same atom count.
 func Distance(a, b *traj.Trajectory, m Method) float64 {
-	fa, fb := Frames(a), Frames(b)
-	return DistanceFrames(fa, fb, m)
+	return DistanceCounted(a, b, m, nil)
+}
+
+// DistanceCounted is Distance with frame-pair accounting folded into c
+// (which may be nil). The Pruned method consumes the trajectories'
+// cached packed representation (traj.Trajectory.Packed).
+func DistanceCounted(a, b *traj.Trajectory, m Method, c *Counters) float64 {
+	if m == Pruned {
+		return DistancePacked(a.Packed(), b.Packed(), c)
+	}
+	return DistanceFramesCounted(Frames(a), Frames(b), m, c)
 }
 
 // DistanceFrames is Distance on raw frame views. Empty inputs follow
@@ -102,16 +204,36 @@ func Distance(a, b *traj.Trajectory, m Method) float64 {
 // when exactly one side is empty (no frame of the non-empty side has a
 // nearest neighbour).
 func DistanceFrames(fa, fb [][]linalg.Vec3, m Method) float64 {
-	var h1, h2 float64
+	return DistanceFramesCounted(fa, fb, m, nil)
+}
+
+// DistanceFramesCounted is DistanceFrames with frame-pair accounting
+// folded into c (which may be nil). For the Pruned method it packs both
+// frame sets on the fly; callers comparing whole trajectories should
+// prefer Distance/DistancePacked, which reuse the per-trajectory packing.
+func DistanceFramesCounted(fa, fb [][]linalg.Vec3, m Method, c *Counters) float64 {
 	switch m {
 	case EarlyBreak:
-		h1 = DirectedEarlyBreak(fa, fb)
-		h2 = DirectedEarlyBreak(fb, fa)
+		h1 := directedEarlyBreak(fa, fb, c)
+		h2 := directedEarlyBreak(fb, fa, c)
+		return math.Max(h1, h2)
+	case Pruned:
+		return DistancePacked(packViews(fa), packViews(fb), c)
 	default:
-		h1 = DirectedNaive(fa, fb)
-		h2 = DirectedNaive(fb, fa)
+		h1 := directedNaive(fa, fb, c)
+		h2 := directedNaive(fb, fa, c)
+		return math.Max(h1, h2)
 	}
-	return math.Max(h1, h2)
+}
+
+// packViews packs raw frame views, deriving the atom count from the
+// first frame (zero frames pack as an empty trajectory).
+func packViews(frames [][]linalg.Vec3) *traj.Packed {
+	nAtoms := 0
+	if len(frames) > 0 {
+		nAtoms = len(frames[0])
+	}
+	return traj.PackFrames(frames, nAtoms)
 }
 
 // Matrix2DRMS computes the full frame-by-frame dRMS matrix between two

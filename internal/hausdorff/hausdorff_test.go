@@ -23,17 +23,16 @@ func randTrajs(seed uint64, n, atoms, frames int) []*traj.Trajectory {
 
 func TestDistanceSelfZero(t *testing.T) {
 	tr := synth.Walk("a", 20, 10, 1, 0)
-	if got := Distance(tr, tr, Naive); got != 0 {
-		t.Errorf("H(a,a) = %v, want 0", got)
-	}
-	if got := Distance(tr, tr, EarlyBreak); got != 0 {
-		t.Errorf("early-break H(a,a) = %v, want 0", got)
+	for _, m := range Methods {
+		if got := Distance(tr, tr, m); got != 0 {
+			t.Errorf("%v H(a,a) = %v, want 0", m, got)
+		}
 	}
 }
 
 func TestDistanceSymmetric(t *testing.T) {
 	ts := randTrajs(2, 2, 15, 8)
-	for _, m := range []Method{Naive, EarlyBreak} {
+	for _, m := range Methods {
 		d1 := Distance(ts[0], ts[1], m)
 		d2 := Distance(ts[1], ts[0], m)
 		if d1 != d2 {
@@ -130,7 +129,7 @@ func TestEmptyInputConsistency(t *testing.T) {
 		{"empty-both", nil, nil, 0},
 	}
 	for _, tc := range cases {
-		for _, m := range []Method{Naive, EarlyBreak} {
+		for _, m := range Methods {
 			if got := DistanceFrames(tc.fa, tc.fb, m); got != tc.want {
 				t.Errorf("%s: DistanceFrames(%v) = %v, want %v", tc.name, m, got, tc.want)
 			}
@@ -155,11 +154,26 @@ func TestMatrix2DRMSShape(t *testing.T) {
 }
 
 func TestMethodString(t *testing.T) {
-	if Naive.String() != "naive" || EarlyBreak.String() != "early-break" {
+	if Naive.String() != "naive" || EarlyBreak.String() != "early-break" || Pruned.String() != "pruned" {
 		t.Error("method names wrong")
 	}
 	if Method(99).String() != "unknown" {
 		t.Error("unknown method name wrong")
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for _, m := range Methods {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMethod(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if got, err := ParseMethod(""); err != nil || got != Naive {
+		t.Errorf("empty method: got %v, %v", got, err)
+	}
+	if _, err := ParseMethod("exact"); err == nil {
+		t.Error("unknown method accepted")
 	}
 }
 

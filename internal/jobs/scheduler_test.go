@@ -88,6 +88,82 @@ func TestSchedulerCacheHit(t *testing.T) {
 	}
 }
 
+// The kernel method is result-invariant — naive, early-break and pruned
+// produce identical matrices — so resubmitting the same job with a
+// different method (or the full-matrix schedule) must be served from the
+// cache without re-running any engine tasks.
+func TestSchedulerCacheHitAcrossMethods(t *testing.T) {
+	s := NewScheduler(DefaultRegistry(), Options{Workers: 1})
+	defer s.Close()
+	base := validPSASpec()
+	base.Method = "naive"
+	first, err := s.Submit(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, first)
+	tasksAfterFirst := s.Metrics().Engine.Tasks
+	r1, _, _ := first.Result()
+
+	for _, mutate := range []func(*Spec){
+		func(sp *Spec) { sp.Method = "early-break" },
+		func(sp *Spec) { sp.Method = "pruned" },
+		func(sp *Spec) { sp.Method = "pruned"; sp.FullMatrix = true },
+	} {
+		spec := validPSASpec()
+		mutate(&spec)
+		job, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := job.Status()
+		if st.State != StateDone || !st.CacheHit {
+			t.Fatalf("method=%q full=%v resubmission not served from cache: %+v",
+				spec.Method, spec.FullMatrix, st)
+		}
+		r2, _, _ := job.Result()
+		if r1.Matrix != r2.Matrix {
+			t.Errorf("method=%q: cache hit did not share the stored result", spec.Method)
+		}
+	}
+	if got := s.Metrics().Engine.Tasks; got != tasksAfterFirst {
+		t.Errorf("cache hits re-ran engine tasks: %d -> %d", tasksAfterFirst, got)
+	}
+	if m := s.Metrics(); m.CacheHits != 3 || m.CacheMisses != 1 || m.CacheEntries != 1 {
+		t.Errorf("cache accounting: %+v", m)
+	}
+}
+
+// Every engine's PSA runner must surface the kernel's frame-pair
+// counters in its job metrics — and, through the scheduler aggregate, at
+// /v1/metrics.
+func TestJobMetricsCarryKernelCounters(t *testing.T) {
+	s := NewScheduler(DefaultRegistry(), Options{Workers: 1})
+	defer s.Close()
+	for i, eng := range Engines {
+		spec := validPSASpec()
+		spec.Engine = eng
+		spec.Method = "pruned"
+		spec.Synth.Seed = uint64(1000 + i) // distinct content: no cache hits
+		job, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := waitTerminal(t, job)
+		if st.State != StateDone {
+			t.Fatalf("%s: job finished %s (%s)", eng, st.State, st.Error)
+		}
+		m := st.Metrics
+		if m.PairsEvaluated == 0 || m.PairsPruned == 0 {
+			t.Errorf("%s: kernel counters missing from job metrics: %+v", eng, m)
+		}
+	}
+	agg := s.Metrics().Engine
+	if agg.PairsEvaluated == 0 || agg.PairsPruned == 0 {
+		t.Errorf("kernel counters missing from service aggregate: %+v", agg)
+	}
+}
+
 // blockingRegistry registers a psa/serial runner that parks until
 // cancelled or released, for deterministic scheduling tests.
 func blockingRegistry(started chan<- string, release <-chan struct{}) *Registry {

@@ -11,6 +11,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"mdtask/internal/hausdorff"
 	"mdtask/internal/leaflet"
 	"mdtask/internal/synth"
 )
@@ -74,8 +75,8 @@ type Spec struct {
 	// Leaflet Finder, matching the paper).
 	Tasks int `json:"tasks,omitempty"`
 
-	// Method is the PSA Hausdorff kernel: "naive" (default) or
-	// "early-break".
+	// Method is the PSA Hausdorff kernel: "naive" (default),
+	// "early-break" or "pruned". All three produce identical matrices.
 	Method string `json:"method,omitempty"`
 	// FullMatrix disables PSA's symmetry-aware schedule (paper-faithful
 	// full N×N grid).
@@ -128,16 +129,14 @@ func ParseApproach(s string) (leaflet.Approach, string, error) {
 	}
 }
 
-// parseMethodName canonicalizes a PSA Hausdorff method name.
-func parseMethodName(s string) (string, error) {
-	switch s {
-	case "", "naive":
-		return "naive", nil
-	case "early-break":
-		return "early-break", nil
-	default:
-		return "", fmt.Errorf("jobs: unknown method %q (want naive|early-break)", s)
+// ParseMethod canonicalizes a PSA Hausdorff method name, accepting every
+// hausdorff kernel ("" defaults to naive).
+func ParseMethod(s string) (string, error) {
+	m, err := hausdorff.ParseMethod(s)
+	if err != nil {
+		return "", fmt.Errorf("jobs: %w", err)
 	}
+	return m.String(), nil
 }
 
 // Normalized validates the spec and fills every defaultable field, so
@@ -167,7 +166,7 @@ func (s Spec) Normalized() (Spec, error) {
 
 	switch s.Analysis {
 	case AnalysisPSA:
-		m, err := parseMethodName(s.Method)
+		m, err := ParseMethod(s.Method)
 		if err != nil {
 			return Spec{}, err
 		}
@@ -261,13 +260,17 @@ func normalizedLeafletSynth(g SynthSpec) (SynthSpec, error) {
 func RunnerName(analysis, engine string) string { return analysis + "/" + engine }
 
 // CacheKey content-addresses a normalized spec plus the digest of its
-// resolved input data. Every field that influences either the result or
-// the work performed (engine, sizing) is included, so only a truly
-// identical resubmission is served from the cache.
+// resolved input data. Result-invariant parameters are normalized out:
+// the PSA kernel method (naive, early-break and pruned are all exact —
+// they produce bit-identical matrices) and the FullMatrix schedule
+// toggle (the symmetric schedule mirrors the identical values), so a
+// resubmission differing only in those hits the existing entry. Fields
+// that change where or how much engine work runs (engine, sizing) stay
+// in the key, so resubmitting on a different engine re-runs.
 func CacheKey(s Spec, inputDigest string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "v1|%s|%s|p=%d|t=%d|m=%s|full=%v|a=%s|c=%x|in=%s",
+	fmt.Fprintf(h, "v2|%s|%s|p=%d|t=%d|a=%s|c=%x|in=%s",
 		s.Analysis, s.Engine, s.Parallelism, s.Tasks,
-		s.Method, s.FullMatrix, s.Approach, s.Cutoff, inputDigest)
+		s.Approach, s.Cutoff, inputDigest)
 	return hex.EncodeToString(h.Sum(nil))
 }

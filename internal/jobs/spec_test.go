@@ -120,8 +120,6 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 		"engine":      func(s *Spec) { s.Engine = EngineMPI },
 		"parallelism": func(s *Spec) { s.Parallelism = 8 },
 		"tasks":       func(s *Spec) { s.Tasks = 9 },
-		"method":      func(s *Spec) { s.Method = "early-break" },
-		"full matrix": func(s *Spec) { s.FullMatrix = true },
 	}
 	for name, m := range mutations {
 		if key(m) == key(nil) {
@@ -130,6 +128,19 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 	}
 	if CacheKey(base, "other-digest") == key(nil) {
 		t.Error("cache key ignores input digest")
+	}
+	// Result-invariant parameters are normalized out of the key: every
+	// kernel method produces the identical matrix, as does the full
+	// (non-symmetric) schedule.
+	invariant := map[string]func(*Spec){
+		"method early-break": func(s *Spec) { s.Method = "early-break" },
+		"method pruned":      func(s *Spec) { s.Method = "pruned" },
+		"full matrix":        func(s *Spec) { s.FullMatrix = true },
+	}
+	for name, m := range invariant {
+		if key(m) != key(nil) {
+			t.Errorf("cache key varies with result-invariant %s", name)
+		}
 	}
 }
 

@@ -1,0 +1,57 @@
+package linalg
+
+import "math"
+
+// drmsBoundSlack is the relative safety margin applied to the
+// early-abandon threshold of DRMSWithin. The abandon test compares
+// floating-point partial sums against bound²·n, both of which carry
+// rounding error; inflating the threshold by a margin that dwarfs the
+// worst-case accumulation error (~n·2⁻⁵² relative, so safe up to a few
+// million atoms) guarantees an evaluation whose completed dRMS would
+// compare below the bound is never abandoned. The only cost of the
+// slack is finishing a handful of evaluations that land within one part
+// in 10⁹ of the threshold.
+const drmsBoundSlack = 1e-9
+
+// DRMSWithin computes dRMS between two packed coordinate rows
+// (x₀,y₀,z₀,x₁,y₁,z₁,…), early-abandoning the atom sum as soon as the
+// partial sum proves the result must be at least bound: the squared
+// per-atom distances are non-negative, so the running sum is monotone
+// and crossing bound²·n is conclusive. It returns (d, true) when the
+// evaluation completes — with d bit-identical to DRMS on the same
+// coordinates, because the accumulation order and arithmetic are the
+// same — and (0, false) when it abandons. A bound of +Inf never
+// abandons; a NaN bound is treated like +Inf.
+//
+// DRMSWithin panics if the rows differ in length or are not a whole
+// number of xyz triples. Two empty rows complete with d = 0.
+func DRMSWithin(a, b []float64, bound float64) (float64, bool) {
+	if len(a) != len(b) {
+		panic("linalg: DRMSWithin rows have different lengths")
+	}
+	if len(a)%3 != 0 {
+		panic("linalg: DRMSWithin rows must hold whole xyz triples")
+	}
+	n := len(a) / 3
+	if n == 0 {
+		return 0, true
+	}
+	limit := bound * bound * float64(n)
+	limit += limit * drmsBoundSlack
+	if math.IsNaN(limit) {
+		limit = math.Inf(1)
+	}
+	var sum float64
+	for i := 0; i < len(a); i += 3 {
+		// Route through Dist2 exactly like DRMS does, so a completed
+		// evaluation reproduces DRMS bit for bit.
+		sum += Dist2(
+			Vec3{a[i], a[i+1], a[i+2]},
+			Vec3{b[i], b[i+1], b[i+2]},
+		)
+		if sum > limit {
+			return 0, false
+		}
+	}
+	return math.Sqrt(sum / float64(n)), true
+}

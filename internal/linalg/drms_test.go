@@ -1,0 +1,78 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// packRows flattens two frames into packed rows.
+func packRows(a, b []Vec3) (ra, rb []float64) {
+	ra = make([]float64, 0, len(a)*3)
+	rb = make([]float64, 0, len(b)*3)
+	for _, p := range a {
+		ra = append(ra, p[0], p[1], p[2])
+	}
+	for _, p := range b {
+		rb = append(rb, p[0], p[1], p[2])
+	}
+	return ra, rb
+}
+
+// A completed DRMSWithin evaluation must reproduce DRMS bit for bit —
+// the property the pruned Hausdorff kernel's exactness rests on.
+func TestDRMSWithinMatchesDRMSBitwise(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 14))
+	for trial := 0; trial < 200; trial++ {
+		n := r.IntN(40)
+		fa, fb := randFrame(r, n), randFrame(r, n)
+		ra, rb := packRows(fa, fb)
+		want := DRMS(fa, fb)
+		got, ok := DRMSWithin(ra, rb, math.Inf(1))
+		if !ok {
+			t.Fatalf("infinite bound abandoned (n=%d)", n)
+		}
+		if got != want {
+			t.Fatalf("DRMSWithin = %x, DRMS = %x (n=%d)", got, want, n)
+		}
+		// A bound just above the true value must also complete exactly.
+		got, ok = DRMSWithin(ra, rb, math.Nextafter(want, math.Inf(1)))
+		if n > 0 && (!ok || got != want) {
+			t.Fatalf("tight bound: got %v ok=%v, want %v", got, ok, want)
+		}
+	}
+}
+
+func TestDRMSWithinAbandons(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 1))
+	fa, fb := randFrame(r, 64), randFrame(r, 64)
+	ra, rb := packRows(fa, fb)
+	d := DRMS(fa, fb)
+	if _, ok := DRMSWithin(ra, rb, d/2); ok {
+		t.Error("bound of d/2 did not abandon")
+	}
+	// Bound zero abandons any pair with a positive distance.
+	if _, ok := DRMSWithin(ra, rb, 0); ok {
+		t.Error("zero bound did not abandon")
+	}
+	// ... but identical rows complete at distance 0 even under bound 0.
+	if got, ok := DRMSWithin(ra, ra, 0); !ok || got != 0 {
+		t.Errorf("identical rows under zero bound: %v, %v", got, ok)
+	}
+}
+
+func TestDRMSWithinEdges(t *testing.T) {
+	if d, ok := DRMSWithin(nil, nil, 0); !ok || d != 0 {
+		t.Errorf("empty rows: %v, %v", d, ok)
+	}
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("length mismatch", func() { DRMSWithin(make([]float64, 3), make([]float64, 6), 1) })
+	assertPanics("partial triple", func() { DRMSWithin(make([]float64, 4), make([]float64, 4), 1) })
+}

@@ -132,16 +132,23 @@ func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, er
 		descs[bi] = pilot.UnitDescription{
 			Name:        fmt.Sprintf("psa-block-%d", bi),
 			InputFiles:  inputs,
-			OutputFiles: []string{"distances.bin"},
+			OutputFiles: []string{"distances.bin", "counters.bin"},
 			Fn: func(sandbox string) error {
+				writeOutputs := func(vals []float64, kc hausdorff.Counters) error {
+					if err := os.WriteFile(filepath.Join(sandbox, "distances.bin"), encodeFloats(vals), 0o644); err != nil {
+						return err
+					}
+					return os.WriteFile(filepath.Join(sandbox, "counters.bin"), encodeCounters(kc), 0o644)
+				}
 				if opts.cancelled() {
 					// Emit a zero-valued block of the expected shape; the
 					// job layer discards the matrix of a cancelled run.
-					zeros := make([]float64, b.TaskPairs(opts.Symmetric))
-					return os.WriteFile(filepath.Join(sandbox, "distances.bin"), encodeFloats(zeros), 0o644)
+					return writeOutputs(make([]float64, b.TaskPairs(opts.Symmetric)), hausdorff.Counters{})
 				}
 				// Read each staged trajectory once per unit, not once
-				// per pair.
+				// per pair. The packed representation is likewise built
+				// once per trajectory per unit (traj.Trajectory.Packed
+				// caches it on the loaded trajectory).
 				cache := make(map[int]*traj.Trajectory)
 				load := func(ix int) (*traj.Trajectory, error) {
 					if t, ok := cache[ix]; ok {
@@ -155,6 +162,7 @@ func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, er
 					return t, nil
 				}
 				vals := make([]float64, 0, b.TaskPairs(opts.Symmetric))
+				var kc hausdorff.Counters
 				for i := b.I0; i < b.I1; i++ {
 					ti, err := load(i)
 					if err != nil {
@@ -169,10 +177,10 @@ func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, er
 						if err != nil {
 							return err
 						}
-						vals = append(vals, hausdorff.Distance(ti, tj, opts.Method))
+						vals = append(vals, hausdorff.DistanceCounted(ti, tj, opts.Method, &kc))
 					}
 				}
-				return os.WriteFile(filepath.Join(sandbox, "distances.bin"), encodeFloats(vals), 0o644)
+				return writeOutputs(vals, kc)
 			},
 		}
 	}
@@ -196,6 +204,15 @@ func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, er
 		if want := blocks[i].TaskPairs(opts.Symmetric); len(vals) != want {
 			return nil, fmt.Errorf("psa: unit %d returned %d values, want %d", u.ID, len(vals), want)
 		}
+		rawKC, ok := u.Output("counters.bin")
+		if !ok {
+			return nil, fmt.Errorf("psa: unit %d produced no kernel counters", u.ID)
+		}
+		kc, err := decodeCounters(rawKC)
+		if err != nil {
+			return nil, fmt.Errorf("psa: unit %d: %w", u.ID, err)
+		}
+		opts.recordKernel(kc)
 		results[i] = BlockResult{Block: blocks[i], Values: vals, Symmetric: opts.Symmetric}
 	}
 	return Assemble(len(ens), results), nil
@@ -253,6 +270,27 @@ func encodeFloats(vals []float64) []byte {
 		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
 	}
 	return out
+}
+
+// encodeCounters packs kernel counters as three little-endian uint64s.
+func encodeCounters(c hausdorff.Counters) []byte {
+	out := make([]byte, 0, 24)
+	out = binary.LittleEndian.AppendUint64(out, uint64(c.Evaluated))
+	out = binary.LittleEndian.AppendUint64(out, uint64(c.Pruned))
+	out = binary.LittleEndian.AppendUint64(out, uint64(c.Abandoned))
+	return out
+}
+
+// decodeCounters unpacks the counters payload of a pilot unit.
+func decodeCounters(b []byte) (hausdorff.Counters, error) {
+	if len(b) != 24 {
+		return hausdorff.Counters{}, fmt.Errorf("psa: counters payload length %d, want 24", len(b))
+	}
+	return hausdorff.Counters{
+		Evaluated: int64(binary.LittleEndian.Uint64(b)),
+		Pruned:    int64(binary.LittleEndian.Uint64(b[8:])),
+		Abandoned: int64(binary.LittleEndian.Uint64(b[16:])),
+	}, nil
 }
 
 // decodeFloats unpacks little-endian float64 values.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mdtask/internal/dask"
+	"mdtask/internal/engine"
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/pilot"
 	"mdtask/internal/rdd"
@@ -121,6 +122,53 @@ func TestDriversEarlyBreakMethod(t *testing.T) {
 		}
 		if !matricesEqual(got, want, 0) {
 			t.Fatalf("early-break result differs (sym=%v)", sym)
+		}
+	}
+}
+
+// The pruned kernel must be exact on every engine — serial, rdd, dask,
+// mpi and pilot — under both schedules, and every engine must deliver
+// self-consistent frame-pair counters through opts.Metrics (pilot ships
+// them back through its staged counters.bin files).
+func TestDriversPrunedMethod(t *testing.T) {
+	const n, atoms, frames, n1 = 6, 7, 5, 2
+	ens := testEnsemble(n, atoms, frames)
+	want, err := Serial(ens, Opts{Method: hausdorff.Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners := map[string]func(Opts) (*Matrix, error){
+		"serial": func(o Opts) (*Matrix, error) { return Serial(ens, o) },
+		"rdd":    func(o Opts) (*Matrix, error) { return RunRDD(rdd.NewContext(4), ens, n1, o) },
+		"dask":   func(o Opts) (*Matrix, error) { return RunDask(dask.NewClient(4), ens, n1, o) },
+		"mpi":    func(o Opts) (*Matrix, error) { return RunMPI(4, ens, n1, o) },
+		"pilot":  func(o Opts) (*Matrix, error) { return RunPilot(testPilot(t), ens, n1, o) },
+	}
+	for _, sym := range []bool{false, true} {
+		// Every trajectory-pair comparison accounts 2·frames² frame
+		// pairs; the diagonal is only scheduled under the full grid.
+		wantPairs := int64(n*n) * 2 * frames * frames
+		if sym {
+			wantPairs = int64(n*(n-1)/2) * 2 * frames * frames
+		}
+		for name, run := range runners {
+			sink := &engine.Metrics{}
+			got, err := run(Opts{Symmetric: sym, Method: hausdorff.Pruned, Metrics: sink})
+			if err != nil {
+				t.Fatalf("%s (sym=%v): %v", name, sym, err)
+			}
+			if !matricesEqual(got, want, 0) {
+				t.Errorf("%s (sym=%v): pruned matrix != naive serial", name, sym)
+			}
+			s := sink.Snapshot()
+			if total := s.PairsEvaluated + s.PairsPruned + s.PairsAbandoned; total != wantPairs {
+				t.Errorf("%s (sym=%v): counters evaluated=%d pruned=%d abandoned=%d sum to %d, want %d",
+					name, sym, s.PairsEvaluated, s.PairsPruned, s.PairsAbandoned, total, wantPairs)
+			}
+			if s.PairsEvaluated <= 0 || s.PairsPruned <= 0 {
+				t.Errorf("%s (sym=%v): no pruning recorded: evaluated=%d pruned=%d abandoned=%d",
+					name, sym, s.PairsEvaluated, s.PairsPruned, s.PairsAbandoned)
+			}
 		}
 	}
 }

@@ -47,10 +47,19 @@ type Opts struct {
 	// for discarding the partial matrix. Serial additionally polls it
 	// between rows.
 	Cancel func() bool
-	// Metrics, when non-nil, receives engine accounting for the runners
-	// that do not carry their own metrics-bearing context (RunMPI; the
-	// rdd/dask/pilot runners account through their Context/Client/Pilot).
+	// Metrics, when non-nil, receives the Hausdorff kernel's frame-pair
+	// counters (evaluated / pruned / abandoned) from every runner, and
+	// engine task accounting for the runners that do not carry their own
+	// metrics-bearing context (RunMPI; the rdd/dask/pilot runners account
+	// tasks through their Context/Client/Pilot).
 	Metrics *engine.Metrics
+}
+
+// recordKernel folds a block's kernel counters into the metrics sink.
+func (o Opts) recordKernel(c hausdorff.Counters) {
+	if o.Metrics != nil {
+		o.Metrics.AddPairs(c.Evaluated, c.Pruned, c.Abandoned)
+	}
 }
 
 // cancelled reports whether a cooperative cancellation was requested.
@@ -160,6 +169,7 @@ func ComputeBlock(ens traj.Ensemble, b Block, opts Opts) BlockResult {
 		}
 	}
 	vals := make([]float64, 0, b.TaskPairs(opts.Symmetric))
+	var kc hausdorff.Counters
 	skipMirror := opts.Symmetric && b.Diagonal()
 	for i := b.I0; i < b.I1; i++ {
 		j0 := b.J0
@@ -167,9 +177,10 @@ func ComputeBlock(ens traj.Ensemble, b Block, opts Opts) BlockResult {
 			j0 = i + 1
 		}
 		for j := j0; j < b.J1; j++ {
-			vals = append(vals, hausdorff.Distance(ens[i], ens[j], opts.Method))
+			vals = append(vals, hausdorff.DistanceCounted(ens[i], ens[j], opts.Method, &kc))
 		}
 	}
+	opts.recordKernel(kc)
 	return BlockResult{Block: b, Values: vals, Symmetric: opts.Symmetric}
 }
 
@@ -218,13 +229,15 @@ func Serial(ens traj.Ensemble, opts Opts) (*Matrix, error) {
 		return nil, err
 	}
 	out := NewMatrix(len(ens))
+	var kc hausdorff.Counters
+	defer func() { opts.recordKernel(kc) }()
 	if opts.Symmetric {
 		for i := range ens {
 			if opts.cancelled() {
 				return out, nil
 			}
 			for j := i + 1; j < len(ens); j++ {
-				d := hausdorff.Distance(ens[i], ens[j], opts.Method)
+				d := hausdorff.DistanceCounted(ens[i], ens[j], opts.Method, &kc)
 				out.Set(i, j, d)
 				out.Set(j, i, d)
 			}
@@ -236,7 +249,7 @@ func Serial(ens traj.Ensemble, opts Opts) (*Matrix, error) {
 			return out, nil
 		}
 		for j := range ens {
-			out.Set(i, j, hausdorff.Distance(ens[i], ens[j], opts.Method))
+			out.Set(i, j, hausdorff.DistanceCounted(ens[i], ens[j], opts.Method, &kc))
 		}
 	}
 	return out, nil

@@ -85,6 +85,61 @@ func Walk(name string, nAtoms, nFrames int, seed, stream uint64) *traj.Trajector
 	return t
 }
 
+// PathWalk generates a transition-path-like trajectory for Path
+// Similarity Analysis: all members of a (seed-determined) ensemble
+// share the same initial configuration and each drifts coherently along
+// its own stream-determined direction while the atoms jitter, like
+// independent simulations escaping a common starting basin toward
+// different end states. Unlike Walk, whose frames all occupy the same
+// region, PathWalk frames traverse space: frame centroids separate
+// roughly linearly in time, which is the structure the pruned Hausdorff
+// kernel's centroid bounds and temporal-coherence pruning exploit.
+func PathWalk(name string, nAtoms, nFrames int, seed, stream uint64) *traj.Trajectory {
+	const (
+		box    = 50.0 // initial box edge, Å
+		drift  = 1.0  // coherent per-frame displacement, Å
+		jitter = 0.15 // per-frame per-atom Gaussian displacement σ, Å
+		dt     = 1.0  // frame spacing, ps
+	)
+	// The shared starting configuration depends only on the seed.
+	base := rng(seed, 0x9A7B)
+	start := make([]linalg.Vec3, nAtoms)
+	for i := range start {
+		start[i] = linalg.Vec3{base.Float64() * box, base.Float64() * box, base.Float64() * box}
+	}
+	// Drift direction and jitter are per-trajectory.
+	r := rng(seed, stream^0x5EED)
+	dir := linalg.Vec3{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+	if n := dir.Norm(); n > 0 {
+		dir = dir.Scale(drift / n)
+	}
+	t := traj.New(name, nAtoms)
+	cur := make([]linalg.Vec3, nAtoms)
+	copy(cur, start)
+	for f := 0; f < nFrames; f++ {
+		coords := make([]linalg.Vec3, nAtoms)
+		copy(coords, cur)
+		t.Frames = append(t.Frames, traj.Frame{Time: float64(f) * dt, Coords: coords})
+		for i := range cur {
+			cur[i] = cur[i].Add(dir)
+			cur[i][0] += r.NormFloat64() * jitter
+			cur[i][1] += r.NormFloat64() * jitter
+			cur[i][2] += r.NormFloat64() * jitter
+		}
+	}
+	return t
+}
+
+// PathEnsemble generates n PathWalk trajectories diverging from the
+// seed's shared starting configuration.
+func PathEnsemble(n, nAtoms, nFrames int, seed uint64) traj.Ensemble {
+	out := make(traj.Ensemble, n)
+	for i := range out {
+		out[i] = PathWalk(fmt.Sprintf("path-%03d", i), nAtoms, nFrames, seed, uint64(i))
+	}
+	return out
+}
+
 // MembranePreset names a Leaflet Finder system size from the paper
 // (§4.3): total atom count across both leaflets.
 type MembranePreset struct {

@@ -1,0 +1,96 @@
+package traj
+
+import (
+	"math"
+
+	"mdtask/internal/linalg"
+)
+
+// Packed is the contiguous, precomputed frame representation the pruned
+// Hausdorff kernel consumes: every frame's coordinates flattened into
+// one cache-friendly []float64 (frame-major, xyz triples), plus the
+// per-frame statistics the kernel's pruning bounds need — centroids,
+// radii of gyration, and the dRMS between consecutive frames. All of it
+// is computed once per trajectory in O(frames·atoms) instead of being
+// re-derived inside every O(frames²) trajectory comparison.
+type Packed struct {
+	NAtoms  int
+	NFrames int
+	// Coords holds the frames back to back: frame i occupies
+	// Coords[i*NAtoms*3 : (i+1)*NAtoms*3] as x,y,z triples in atom order.
+	Coords []float64
+	// Centroids[i] is the arithmetic-mean position of frame i.
+	Centroids []linalg.Vec3
+	// RadGyr[i] is the radius of gyration of frame i about its centroid:
+	// sqrt(mean |xⱼ − centroid|²).
+	RadGyr []float64
+	// StepDRMS[i] is dRMS(frame i−1, frame i), with StepDRMS[0] = 0: the
+	// temporal-coherence Lipschitz constants the pruned kernel chains
+	// through the dRMS triangle inequality.
+	StepDRMS []float64
+}
+
+// Row returns frame i's packed coordinate row (shared, not copied).
+func (p *Packed) Row(i int) []float64 {
+	w := p.NAtoms * 3
+	return p.Coords[i*w : (i+1)*w]
+}
+
+// PackFrames builds the packed representation of raw frame views. All
+// frames must have nAtoms coordinates.
+func PackFrames(frames [][]linalg.Vec3, nAtoms int) *Packed {
+	nf := len(frames)
+	p := &Packed{
+		NAtoms:    nAtoms,
+		NFrames:   nf,
+		Coords:    make([]float64, nf*nAtoms*3),
+		Centroids: make([]linalg.Vec3, nf),
+		RadGyr:    make([]float64, nf),
+		StepDRMS:  make([]float64, nf),
+	}
+	for i, coords := range frames {
+		row := p.Coords[i*nAtoms*3 : (i+1)*nAtoms*3]
+		for j, pt := range coords {
+			row[j*3] = pt[0]
+			row[j*3+1] = pt[1]
+			row[j*3+2] = pt[2]
+		}
+		c := linalg.Centroid(coords)
+		p.Centroids[i] = c
+		if nAtoms > 0 {
+			var s float64
+			for _, pt := range coords {
+				s += linalg.Dist2(pt, c)
+			}
+			p.RadGyr[i] = math.Sqrt(s / float64(nAtoms))
+		}
+		if i > 0 {
+			d, _ := linalg.DRMSWithin(p.Row(i-1), row, math.Inf(1))
+			p.StepDRMS[i] = d
+		}
+	}
+	return p
+}
+
+// Pack builds the packed representation of a trajectory.
+func Pack(t *Trajectory) *Packed {
+	frames := make([][]linalg.Vec3, len(t.Frames))
+	for i := range t.Frames {
+		frames[i] = t.Frames[i].Coords
+	}
+	return PackFrames(frames, t.NAtoms)
+}
+
+// Packed returns the trajectory's packed representation, computing it on
+// first use and caching it. The cache is safe for concurrent use (racing
+// callers at worst pack twice) and is invalidated when the frame count
+// changes; mutating frame coordinates in place after the first call is
+// not supported.
+func (t *Trajectory) Packed() *Packed {
+	if p := t.packed.Load(); p != nil && p.NFrames == len(t.Frames) {
+		return p
+	}
+	p := Pack(t)
+	t.packed.Store(p)
+	return p
+}

@@ -1,0 +1,104 @@
+package traj
+
+import (
+	"math"
+	"testing"
+
+	"mdtask/internal/linalg"
+)
+
+func packTestTrajectory(t *testing.T) *Trajectory {
+	t.Helper()
+	tr := New("p", 3)
+	frames := [][]linalg.Vec3{
+		{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}},
+		{{0, 1, 0}, {1, 1, 0}, {2, 1, 0}},
+		{{3, 1, 2}, {4, 1, 2}, {5, 1, 2}},
+	}
+	for i, f := range frames {
+		if err := tr.AppendFrame(Frame{Time: float64(i), Coords: f}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestPackLayoutAndStats(t *testing.T) {
+	tr := packTestTrajectory(t)
+	p := Pack(tr)
+	if p.NAtoms != 3 || p.NFrames != 3 {
+		t.Fatalf("packed shape %dx%d", p.NFrames, p.NAtoms)
+	}
+	if len(p.Coords) != 3*3*3 {
+		t.Fatalf("coords len %d", len(p.Coords))
+	}
+	for i, f := range tr.Frames {
+		row := p.Row(i)
+		for j, pt := range f.Coords {
+			for k := 0; k < 3; k++ {
+				if row[j*3+k] != pt[k] {
+					t.Fatalf("frame %d atom %d axis %d: packed %v != %v", i, j, k, row[j*3+k], pt[k])
+				}
+			}
+		}
+		c := linalg.Centroid(f.Coords)
+		if p.Centroids[i] != c {
+			t.Errorf("frame %d centroid %v != %v", i, p.Centroids[i], c)
+		}
+		var s float64
+		for _, pt := range f.Coords {
+			s += linalg.Dist2(pt, c)
+		}
+		if want := math.Sqrt(s / 3); p.RadGyr[i] != want {
+			t.Errorf("frame %d rg %v != %v", i, p.RadGyr[i], want)
+		}
+	}
+	if p.StepDRMS[0] != 0 {
+		t.Errorf("StepDRMS[0] = %v", p.StepDRMS[0])
+	}
+	for i := 1; i < 3; i++ {
+		want := linalg.DRMS(tr.Frames[i-1].Coords, tr.Frames[i].Coords)
+		if p.StepDRMS[i] != want {
+			t.Errorf("StepDRMS[%d] = %v, want %v", i, p.StepDRMS[i], want)
+		}
+	}
+}
+
+func TestPackedCacheAndInvalidation(t *testing.T) {
+	tr := packTestTrajectory(t)
+	p1 := tr.Packed()
+	if p2 := tr.Packed(); p2 != p1 {
+		t.Error("Packed not cached")
+	}
+	if err := tr.AppendFrame(Frame{Time: 3, Coords: []linalg.Vec3{{9, 9, 9}, {8, 8, 8}, {7, 7, 7}}}); err != nil {
+		t.Fatal(err)
+	}
+	p3 := tr.Packed()
+	if p3 == p1 {
+		t.Fatal("Packed cache not invalidated by AppendFrame")
+	}
+	if p3.NFrames != 4 {
+		t.Fatalf("repacked NFrames = %d", p3.NFrames)
+	}
+}
+
+func TestPackEmptyAndZeroAtoms(t *testing.T) {
+	empty := New("e", 5)
+	p := empty.Packed()
+	if p.NFrames != 0 || len(p.Coords) != 0 {
+		t.Fatalf("empty pack: %+v", p)
+	}
+	zero := New("z", 0)
+	for i := 0; i < 2; i++ {
+		if err := zero.AppendFrame(Frame{Coords: nil}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pz := zero.Packed()
+	if pz.NFrames != 2 || pz.RadGyr[0] != 0 || pz.StepDRMS[1] != 0 {
+		t.Fatalf("zero-atom pack: %+v", pz)
+	}
+	if got := len(pz.Row(1)); got != 0 {
+		t.Fatalf("zero-atom row len %d", got)
+	}
+}

@@ -11,11 +11,19 @@
 //     selectable float32/float64 coordinate precision (format.go).
 //   - XYZT (.xyzt): a human-readable text format in the spirit of XYZ
 //     files, one block per frame (xyzt.go).
+//
+// Beyond the frame-of-Vec3 data model, the package provides a packed
+// analysis representation (packed.go): Trajectory.Packed flattens every
+// frame into one contiguous []float64 and precomputes the per-frame
+// centroids, radii of gyration, and consecutive-frame dRMS values that
+// the pruned Hausdorff kernel's lower bounds consume, once per
+// trajectory instead of once per trajectory comparison.
 package traj
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"mdtask/internal/linalg"
 )
@@ -40,6 +48,10 @@ type Trajectory struct {
 	Name   string
 	NAtoms int
 	Frames []Frame
+
+	// packed caches the contiguous frame representation (see packed.go),
+	// built on first use by Packed().
+	packed atomic.Pointer[Packed]
 }
 
 // ErrShapeMismatch is returned when a frame's coordinate count does not
