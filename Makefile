@@ -1,8 +1,9 @@
 GO ?= go
 SERVE_ADDR ?= :8077
 SMOKE_PORT ?= 18077
+BENCH_CURRENT ?= /tmp/mdtask-bench-current.json
 
-.PHONY: build test bench bench-json fmt vet serve smoke-serve
+.PHONY: build test bench bench-json bench-gate fmt vet serve smoke-serve smoke-fleet
 
 build:
 	$(GO) build ./...
@@ -15,12 +16,18 @@ serve:
 	$(GO) run ./cmd/mdserver -addr $(SERVE_ADDR)
 
 # CI smoke: build mdserver, start it, hit /healthz, submit a tiny synth
-# PSA job, poll it to completion and assert a 200 result.
+# PSA job, poll it to completion and assert a 200 result. The trap
+# covers INT/TERM/HUP as well as EXIT and reaps the server, so an
+# assertion failure (or a cancelled CI run) never leaks an mdserver
+# onto the runner's port; the binary lives in a per-run scratch dir so
+# parallel invocations cannot trample each other.
 smoke-serve:
-	$(GO) build -o /tmp/mdserver ./cmd/mdserver
-	@set -e; \
-	/tmp/mdserver -addr 127.0.0.1:$(SMOKE_PORT) & pid=$$!; \
-	trap 'kill $$pid 2>/dev/null' EXIT; \
+	@set -eu; \
+	bin=$$(mktemp -d); pid=""; \
+	trap 'status=$$?; [ -n "$$pid" ] && kill $$pid 2>/dev/null || true; \
+	      wait 2>/dev/null || true; rm -rf "$$bin"; exit $$status' EXIT INT TERM HUP; \
+	$(GO) build -o $$bin/mdserver ./cmd/mdserver; \
+	$$bin/mdserver -addr 127.0.0.1:$(SMOKE_PORT) & pid=$$!; \
 	for i in $$(seq 1 50); do \
 	  curl -fsS http://127.0.0.1:$(SMOKE_PORT)/healthz >/dev/null 2>&1 && break; \
 	  sleep 0.1; \
@@ -29,6 +36,7 @@ smoke-serve:
 	id=$$(curl -fsS -X POST http://127.0.0.1:$(SMOKE_PORT)/v1/jobs \
 	  -d '{"analysis":"psa","engine":"dask","synth":{"count":3,"atoms":8,"frames":4}}' | jq -r .id); \
 	echo "submitted $$id"; \
+	state=queued; \
 	for i in $$(seq 1 100); do \
 	  state=$$(curl -fsS http://127.0.0.1:$(SMOKE_PORT)/v1/jobs/$$id | jq -r .state); \
 	  [ "$$state" = "done" ] && break; \
@@ -39,6 +47,12 @@ smoke-serve:
 	curl -fsS -o /dev/null -w '%{http_code}\n' http://127.0.0.1:$(SMOKE_PORT)/v1/jobs/$$id/result | grep -q 200; \
 	echo "smoke-serve OK"
 
+# CI smoke for the fleet engine: mdserver + 2 external mdworkers, one
+# SIGKILLed mid-job; the job must finish with a matrix identical to
+# the serial engine's (see scripts/smoke_fleet.sh).
+smoke-fleet:
+	sh scripts/smoke_fleet.sh
+
 bench:
 	$(GO) test -bench 'PSA|Hausdorff' -run '^$$' ./internal/bench/
 
@@ -47,6 +61,14 @@ bench:
 bench-json:
 	MDTASK_BENCH_JSON=$(CURDIR)/BENCH_psa.json $(GO) test -count=1 ./internal/bench/ -run TestWriteBenchPSAJSON -v
 	@cat $(CURDIR)/BENCH_psa.json
+
+# Kernel-efficiency regression gate: record the current counters to a
+# scratch path and compare against the committed BENCH_psa.json.
+# Counters are deterministic (fixed synth seeds), so the tolerance only
+# absorbs future intentional jitter; wall-clock never gates.
+bench-gate:
+	MDTASK_BENCH_JSON=$(BENCH_CURRENT) $(GO) test -count=1 ./internal/bench/ -run TestWriteBenchPSAJSON
+	$(GO) run ./cmd/benchgate -baseline $(CURDIR)/BENCH_psa.json -current $(BENCH_CURRENT)
 
 fmt:
 	gofmt -l .

@@ -1,0 +1,150 @@
+// Command benchgate is the kernel-efficiency regression gate: it
+// compares a freshly recorded BENCH_psa.json (make bench-json into a
+// scratch path) against the committed baseline and fails the build
+// when the pruned Hausdorff pipeline loses ground.
+//
+// Only the deterministic frame-pair counters gate — PairsEvaluated,
+// the pruned fraction, and the scheduled-pair total. Wall-clock
+// (ns_per_op) is machine-dependent noise on shared CI runners and is
+// deliberately ignored.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_psa.json -current /tmp/bench.json [-tol 0.02]
+//
+// Exit status 0 means no regression; 1 means the gate tripped (every
+// violation is listed); 2 means the inputs could not be read.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchFile mirrors the layout internal/bench's TestWriteBenchPSAJSON
+// records.
+type benchFile struct {
+	Benchmark string          `json:"benchmark"`
+	Ensembles []benchEnsemble `json:"ensembles"`
+}
+
+type benchEnsemble struct {
+	Kind         string        `json:"kind"`
+	Trajectories int           `json:"trajectories"`
+	Atoms        int           `json:"atoms"`
+	Frames       int           `json:"frames"`
+	Methods      []benchMethod `json:"methods"`
+}
+
+type benchMethod struct {
+	Method         string  `json:"method"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	PairsEvaluated int64   `json:"pairs_evaluated"`
+	PairsPruned    int64   `json:"pairs_pruned"`
+	PairsAbandoned int64   `json:"pairs_abandoned"`
+	PrunedFraction float64 `json:"pruned_fraction"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_psa.json", "committed baseline JSON")
+		currentPath  = flag.String("current", "", "freshly recorded JSON to gate")
+		tol          = flag.Float64("tol", 0.02, "allowed relative slack on evaluated pairs (and absolute slack on pruned fraction)")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	violations, improvements := gate(baseline, current, *tol)
+	for _, msg := range improvements {
+		fmt.Println("benchgate: note:", msg)
+	}
+	if len(violations) > 0 {
+		for _, msg := range violations {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", msg)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %d kernel-efficiency regression(s) vs %s (tolerance %.0f%%)\n",
+			len(violations), *baselinePath, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — counters within %.0f%% of %s across %d ensemble(s)\n",
+		*tol*100, *baselinePath, len(baseline.Ensembles))
+}
+
+// load reads and parses one bench JSON file.
+func load(path string) (benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return benchFile{}, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return benchFile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// gate compares current against baseline and returns the list of
+// violations (gating) and improvements (informational). Rules, per
+// (ensemble kind, method) present in the baseline:
+//
+//   - the pair must exist in current (a vanished measurement gates);
+//   - the scheduled-pair total (evaluated+pruned+abandoned) must match
+//     exactly — a drift means the benchmark itself changed, and the
+//     baseline must be regenerated deliberately, not silently;
+//   - evaluated pairs may not exceed baseline × (1+tol);
+//   - the pruned fraction may not drop below baseline − tol.
+func gate(baseline, current benchFile, tol float64) (violations, improvements []string) {
+	cur := make(map[string]benchMethod)
+	for _, e := range current.Ensembles {
+		for _, m := range e.Methods {
+			cur[e.Kind+"/"+m.Method] = m
+		}
+	}
+	for _, e := range baseline.Ensembles {
+		for _, b := range e.Methods {
+			key := e.Kind + "/" + b.Method
+			c, ok := cur[key]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("%s: missing from current run", key))
+				continue
+			}
+			baseTotal := b.PairsEvaluated + b.PairsPruned + b.PairsAbandoned
+			curTotal := c.PairsEvaluated + c.PairsPruned + c.PairsAbandoned
+			if baseTotal != curTotal {
+				violations = append(violations, fmt.Sprintf(
+					"%s: scheduled pairs changed %d -> %d (benchmark drift; regenerate the baseline deliberately)",
+					key, baseTotal, curTotal))
+				continue
+			}
+			if limit := float64(b.PairsEvaluated) * (1 + tol); float64(c.PairsEvaluated) > limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s: evaluated pairs %d > %d (baseline %d × %.2f)",
+					key, c.PairsEvaluated, int64(limit), b.PairsEvaluated, 1+tol))
+			} else if c.PairsEvaluated < b.PairsEvaluated {
+				improvements = append(improvements, fmt.Sprintf(
+					"%s: evaluated pairs improved %d -> %d (consider refreshing the baseline)",
+					key, b.PairsEvaluated, c.PairsEvaluated))
+			}
+			if c.PrunedFraction < b.PrunedFraction-tol {
+				violations = append(violations, fmt.Sprintf(
+					"%s: pruned fraction %.4f < %.4f (baseline %.4f − %.2f)",
+					key, c.PrunedFraction, b.PrunedFraction-tol, b.PrunedFraction, tol))
+			}
+		}
+	}
+	return violations, improvements
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func baselineFixture() benchFile {
+	return benchFile{
+		Benchmark: "psa-hausdorff-kernel",
+		Ensembles: []benchEnsemble{{
+			Kind: "walk",
+			Methods: []benchMethod{
+				{Method: "naive", PairsEvaluated: 1000, PairsPruned: 0, PairsAbandoned: 0, PrunedFraction: 0},
+				{Method: "pruned", PairsEvaluated: 100, PairsPruned: 800, PairsAbandoned: 100, PrunedFraction: 0.9},
+			},
+		}},
+	}
+}
+
+func TestGatePassesIdenticalRun(t *testing.T) {
+	v, imp := gate(baselineFixture(), baselineFixture(), 0.02)
+	if len(v) != 0 || len(imp) != 0 {
+		t.Fatalf("identical run: violations=%v improvements=%v", v, imp)
+	}
+}
+
+func TestGateCatchesMoreEvaluatedPairs(t *testing.T) {
+	cur := baselineFixture()
+	// 100 -> 150 evaluated with pruned shrinking to keep the total:
+	// a genuine efficiency regression.
+	cur.Ensembles[0].Methods[1].PairsEvaluated = 150
+	cur.Ensembles[0].Methods[1].PairsPruned = 750
+	cur.Ensembles[0].Methods[1].PrunedFraction = 0.85
+	v, _ := gate(baselineFixture(), cur, 0.02)
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want evaluated-pairs and pruned-fraction failures", v)
+	}
+	if !strings.Contains(v[0], "evaluated pairs") || !strings.Contains(v[1], "pruned fraction") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestGateCatchesScheduleDrift(t *testing.T) {
+	cur := baselineFixture()
+	cur.Ensembles[0].Methods[0].PairsEvaluated = 900 // total 1000 -> 900
+	v, _ := gate(baselineFixture(), cur, 0.02)
+	if len(v) != 1 || !strings.Contains(v[0], "scheduled pairs changed") {
+		t.Fatalf("violations = %v, want schedule-drift failure", v)
+	}
+}
+
+func TestGateCatchesMissingMeasurement(t *testing.T) {
+	cur := baselineFixture()
+	cur.Ensembles[0].Methods = cur.Ensembles[0].Methods[:1]
+	v, _ := gate(baselineFixture(), cur, 0.02)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("violations = %v, want missing-measurement failure", v)
+	}
+}
+
+func TestGateToleratesSlackAndReportsImprovements(t *testing.T) {
+	cur := baselineFixture()
+	// +1% evaluated on pruned: inside the 2% tolerance.
+	cur.Ensembles[0].Methods[1].PairsEvaluated = 101
+	cur.Ensembles[0].Methods[1].PairsPruned = 799
+	if v, _ := gate(baselineFixture(), cur, 0.02); len(v) != 0 {
+		t.Fatalf("within-tolerance run tripped the gate: %v", v)
+	}
+	// Fewer evaluated pairs is an improvement, not a violation.
+	cur.Ensembles[0].Methods[1].PairsEvaluated = 50
+	cur.Ensembles[0].Methods[1].PairsPruned = 850
+	cur.Ensembles[0].Methods[1].PrunedFraction = 0.95
+	v, imp := gate(baselineFixture(), cur, 0.02)
+	if len(v) != 0 || len(imp) != 1 {
+		t.Fatalf("improvement run: violations=%v improvements=%v", v, imp)
+	}
+}

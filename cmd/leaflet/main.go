@@ -9,6 +9,7 @@
 //	leaflet -atoms 65536 -engine spark -approach tree
 //	leaflet -in membrane.mdt -engine mpi -approach 3
 //	leaflet -atoms 4096 -engine serial
+//	leaflet -atoms 4096 -engine fleet      # loopback coordinator/worker fleet
 package main
 
 import (
@@ -26,7 +27,7 @@ func main() {
 		in       = flag.String("in", "", "single-frame .mdt membrane file (default: generate)")
 		atoms    = flag.Int("atoms", 65536, "atom count when generating a membrane")
 		seed     = flag.Uint64("seed", 42, "generator seed")
-		engine   = flag.String("engine", "spark", "engine: serial | mpi | spark | dask | pilot")
+		engine   = flag.String("engine", "spark", "engine: serial | mpi | spark | dask | pilot | fleet")
 		approach = flag.String("approach", "tree", "approach: 1|broadcast, 2|task2d, 3|parallel-cc, 4|tree")
 		cutoff   = flag.Float64("cutoff", synth.BilayerCutoff, "neighbor cutoff (Å)")
 		parallel = flag.Int("parallel", 0, "worker/rank count (0: automatic)")

@@ -1,8 +1,13 @@
 // Command mdserver is the long-running analysis job service: a JSON
 // HTTP API that accepts PSA and Leaflet Finder jobs, schedules them
-// across the five engines (serial, spark, dask, mpi, pilot) through a
-// bounded FIFO queue, and serves identical resubmissions from a
-// content-addressed result cache.
+// across the six engines (serial, spark, dask, mpi, pilot, fleet)
+// through a bounded FIFO queue, and serves identical resubmissions
+// from a content-addressed result cache.
+//
+// It also embeds the fleet coordinator: cmd/mdworker processes
+// register against the same address and pull the work units of every
+// `"engine":"fleet"` job over the worker protocol, so one mdserver
+// plus N mdworkers is a complete multi-process deployment.
 //
 // Usage:
 //
@@ -17,11 +22,13 @@
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/metrics           service-wide metrics
 //	GET    /healthz              liveness probe
+//	POST   /v1/workers[...]      fleet worker protocol (see internal/fleet)
+//	GET    /v1/fleet             fleet coordinator stats
 //
 // Example:
 //
 //	curl -s localhost:8077/v1/jobs -d \
-//	  '{"analysis":"psa","engine":"dask","synth":{"count":4,"atoms":16,"frames":8}}'
+//	  '{"analysis":"psa","engine":"fleet","synth":{"count":4,"atoms":16,"frames":8}}'
 package main
 
 import (
@@ -30,12 +37,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"mdtask/internal/fleet"
 	"mdtask/internal/jobs"
 )
 
@@ -46,34 +55,122 @@ func main() {
 		queue   = flag.Int("queue", 64, "queued-job limit")
 		cache   = flag.Int("cache", 128, "result-cache entries")
 		retain  = flag.Int("retain", 4096, "finished-job records retained (oldest evicted beyond this)")
+
+		fleetWorkers = flag.Int("fleet-workers", 0, "in-process fleet workers to attach (0: external mdworkers only)")
+		leaseTTL     = flag.Duration("fleet-lease-ttl", 15*time.Second, "fleet work-unit lease before requeue")
+		hbTTL        = flag.Duration("fleet-heartbeat-ttl", 5*time.Second, "fleet worker silence before its leases requeue")
+		sweep        = flag.Duration("fleet-sweep", 500*time.Millisecond, "fleet failure-detector period")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cache, *retain); err != nil {
+	cfg := serverConfig{
+		addr: *addr, workers: *workers, queue: *queue, cache: *cache, retain: *retain,
+		fleetWorkers: *fleetWorkers,
+		fleetOpts:    fleet.Options{LeaseTTL: *leaseTTL, HeartbeatTTL: *hbTTL, SweepEvery: *sweep},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mdserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cache, retain int) error {
-	sched := jobs.NewScheduler(jobs.DefaultRegistry(), jobs.Options{
-		Workers:      workers,
-		QueueDepth:   queue,
-		CacheEntries: cache,
-		MaxJobs:      retain,
+// serverConfig carries the resolved flags.
+type serverConfig struct {
+	addr                          string
+	workers, queue, cache, retain int
+	fleetWorkers                  int
+	fleetOpts                     fleet.Options
+	// onReady, when non-nil, receives the bound listen address once the
+	// server is accepting requests (test hook).
+	onReady func(net.Addr)
+}
+
+// selfURL derives the base URL in-process fleet workers dial: the
+// bound host when the listener is on a specific interface, loopback
+// for wildcard binds (0.0.0.0/[::]).
+func selfURL(addr net.Addr) (string, error) {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "", err
+	}
+	ip := net.ParseIP(host)
+	if host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port), nil
+}
+
+// buildHandler wires the jobs API and the fleet worker protocol into
+// one mux (shared with the in-process server test).
+func buildHandler(sched *jobs.Scheduler, coord *fleet.Coordinator) http.Handler {
+	fh := coord.Handler()
+	mux := http.NewServeMux()
+	mux.Handle("/v1/workers", fh)
+	mux.Handle("/v1/workers/", fh)
+	mux.Handle("/v1/fleet", fh)
+	mux.Handle("/v1/fleet/", fh)
+	mux.Handle("/", jobs.NewServer(sched))
+	return mux
+}
+
+// run serves until ctx is cancelled (main cancels on SIGINT/SIGTERM)
+// or the listener fails.
+func run(ctx context.Context, cfg serverConfig) error {
+	coord := fleet.NewCoordinator(cfg.fleetOpts)
+	defer coord.Close()
+	sched := jobs.NewScheduler(jobs.RegistryWithFleet(coord), jobs.Options{
+		Workers:      cfg.workers,
+		QueueDepth:   cfg.queue,
+		CacheEntries: cfg.cache,
+		MaxJobs:      cfg.retain,
 	})
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           jobs.NewServer(sched),
+		Handler:           buildHandler(sched, coord),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Serve before anything dials in: the in-process fleet workers
+	// below register over real HTTP against this very listener.
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("mdserver listening on %s (workers=%d queue=%d cache=%d)", addr, workers, queue, cache)
-		errc <- srv.ListenAndServe()
+		log.Printf("mdserver listening on %s (workers=%d queue=%d cache=%d fleet-workers=%d)",
+			ln.Addr(), cfg.workers, cfg.queue, cfg.cache, cfg.fleetWorkers)
+		errc <- srv.Serve(ln)
 	}()
+
+	// Optional in-process fleet workers, so a single mdserver can
+	// complete fleet jobs without external mdworker processes.
+	var locals []*fleet.Worker
+	if cfg.fleetWorkers > 0 {
+		base, err := selfURL(ln.Addr())
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cfg.fleetWorkers; i++ {
+			w, err := fleet.StartWorker(fleet.WorkerOptions{
+				Coordinator: base,
+				Name:        fmt.Sprintf("mdserver-local-%d", i),
+				Logf:        log.Printf,
+			})
+			if err != nil {
+				return fmt.Errorf("starting in-process fleet worker: %w", err)
+			}
+			locals = append(locals, w)
+		}
+	}
+	defer func() {
+		for _, w := range locals {
+			w.Close()
+		}
+	}()
+	if cfg.onReady != nil {
+		cfg.onReady(ln.Addr())
+	}
 
 	select {
 	case err := <-errc:
@@ -86,6 +183,12 @@ func run(addr string, workers, queue, cache, retain int) error {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
+	// The listener is gone, so no worker can lease or post another
+	// unit: close the coordinator first, aborting any in-flight fleet
+	// job (its scheduler runner fails with ErrClosed and unblocks) —
+	// otherwise sched.Close would wait forever on a fleet job whose
+	// workers can no longer reach us.
+	coord.Close()
 	sched.Close()
 	return nil
 }

@@ -1,0 +1,71 @@
+// Command mdworker is the fleet execution agent: it registers with a
+// coordinator (cmd/mdserver), heartbeats, leases PSA/Leaflet work
+// units over the pull-based HTTP protocol, runs them with the shared
+// in-process kernels, and posts results back. Start as many as the
+// hardware allows — on one machine or many — and kill any of them
+// mid-job: the coordinator requeues their leased units, so no block is
+// ever lost.
+//
+// Usage:
+//
+//	mdworker -coordinator http://127.0.0.1:8077 -parallel 2
+//
+// SIGINT/SIGTERM stop leasing, let in-flight units finish posting, and
+// deregister gracefully; a hard kill is detected by the coordinator's
+// heartbeat failure detector instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mdtask/internal/fleet"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "http://127.0.0.1:8077", "coordinator base URL")
+		name        = flag.String("name", defaultName(), "worker display name")
+		parallel    = flag.Int("parallel", 1, "concurrent work-unit executors")
+		wait        = flag.Duration("register-wait", 30*time.Second, "how long to retry the initial registration")
+	)
+	flag.Parse()
+	if err := run(*coordinator, *name, *parallel, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, "mdworker:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultName derives a worker name from the host and pid.
+func defaultName() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+func run(coordinator, name string, parallel int, wait time.Duration) error {
+	w, err := fleet.StartWorker(fleet.WorkerOptions{
+		Coordinator:  coordinator,
+		Name:         name,
+		Parallel:     parallel,
+		RegisterWait: wait,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("mdworker %s (%s) pulling from %s with %d executor(s)", w.ID(), name, coordinator, parallel)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("mdworker %s draining (units done: %d)", w.ID(), w.UnitsDone.Load())
+	w.Close()
+	return nil
+}

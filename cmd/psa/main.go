@@ -9,6 +9,7 @@
 //	psa -in data/ -engine dask -parallel 8 -method pruned
 //	psa -in data/ -engine serial           # single-goroutine reference
 //	psa -in data/ -engine mpi -sym=false   # paper-faithful full N×N schedule
+//	psa -in data/ -engine fleet -parallel 4  # loopback coordinator/worker fleet
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 func main() {
 	var (
 		in       = flag.String("in", ".", "directory of .mdt trajectory files")
-		engine   = flag.String("engine", "dask", "engine: serial | mpi | spark | dask | pilot")
+		engine   = flag.String("engine", "dask", "engine: serial | mpi | spark | dask | pilot | fleet")
 		parallel = flag.Int("parallel", 0, "worker/rank count (0: automatic)")
 		method   = flag.String("method", "naive", "hausdorff method: naive | early-break | pruned")
 		tasks    = flag.Int("tasks", 0, "task count (0: one per worker)")

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"mdtask/internal/dask"
+	"mdtask/internal/fleet"
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/leaflet"
 	"mdtask/internal/linalg"
@@ -41,6 +42,12 @@ const (
 	// the baseline every parallel engine is validated against. It is not
 	// part of Engines (the paper's comparison set).
 	EngineSerial
+	// EngineFleet runs the multi-process coordinator/worker engine
+	// (internal/fleet): work units lease out over the HTTP worker
+	// protocol. Through this API it boots an in-process loopback fleet
+	// with Parallelism workers; servers embed the coordinator directly.
+	// Like EngineSerial it is not part of Engines.
+	EngineFleet
 )
 
 // String returns the engine's display name.
@@ -56,6 +63,8 @@ func (e Engine) String() string {
 		return "RADICAL-Pilot"
 	case EngineSerial:
 		return "Serial"
+	case EngineFleet:
+		return "Fleet"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -132,6 +141,21 @@ func PSA(cfg Config, ens traj.Ensemble, method hausdorff.Method) (*psa.Matrix, e
 		}
 		defer cleanup()
 		return psa.RunPilot(p, ens, n1, opts)
+	case EngineFleet:
+		lf, err := fleet.StartLocal(cfg.ranks(), fleet.LocalOptions())
+		if err != nil {
+			return nil, err
+		}
+		defer lf.Close()
+		job, err := lf.C.SubmitPSA(ens, n1, opts, nil)
+		if err != nil {
+			return nil, err
+		}
+		defer lf.C.Drop(job)
+		if err := job.Wait(nil); err != nil {
+			return nil, err
+		}
+		return job.Matrix(), nil
 	default:
 		return nil, fmt.Errorf("core: unknown engine %v", cfg.Engine)
 	}
@@ -171,6 +195,21 @@ func LeafletFinder(cfg Config, coords []linalg.Vec3, cutoff float64, approach le
 		}
 		defer cleanup()
 		return leaflet.RunPilot(p, coords, cutoff, tasks)
+	case EngineFleet:
+		lf, err := fleet.StartLocal(cfg.ranks(), fleet.LocalOptions())
+		if err != nil {
+			return nil, err
+		}
+		defer lf.Close()
+		job, err := lf.C.SubmitLeaflet(coords, cutoff, tasks, approach == leaflet.TreeSearch, nil)
+		if err != nil {
+			return nil, err
+		}
+		defer lf.C.Drop(job)
+		if err := job.Wait(nil); err != nil {
+			return nil, err
+		}
+		return job.Leaflet(), nil
 	default:
 		return nil, fmt.Errorf("core: unknown engine %v", cfg.Engine)
 	}

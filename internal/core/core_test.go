@@ -215,3 +215,37 @@ func TestOgresComplete(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetEngine checks the sixth engine through the public API: the
+// loopback coordinator/worker fleet must match serial bit-for-bit on
+// PSA and partition-for-partition on the Leaflet Finder.
+func TestFleetEngine(t *testing.T) {
+	ens := smallEnsemble()
+	want, err := psa.Serial(ens, psa.Opts{Symmetric: true, Method: hausdorff.EarlyBreak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PSA(Config{Engine: EngineFleet, Parallelism: 2}, ens, hausdorff.EarlyBreak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("fleet PSA differs from serial at %d", i)
+		}
+	}
+
+	sys := synth.Bilayer(800, 7)
+	wantLeaf := leaflet.Serial(sys.Coords, synth.BilayerCutoff)
+	gotLeaf, err := LeafletFinder(Config{Engine: EngineFleet, Parallelism: 2, Tasks: 10},
+		sys.Coords, synth.BilayerCutoff, leaflet.TreeSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !leaflet.Equal(gotLeaf, wantLeaf) {
+		t.Fatal("fleet Leaflet Finder differs from serial")
+	}
+	if EngineFleet.String() != "Fleet" {
+		t.Errorf("EngineFleet.String() = %q", EngineFleet)
+	}
+}

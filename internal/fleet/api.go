@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler exposes the coordinator over HTTP: the worker protocol
+// (register, heartbeat, lease, results, deregister), the job input
+// endpoint, and the stats view. It is mountable into a larger mux —
+// cmd/mdserver serves it alongside the jobs API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decoding register request: %w", err))
+				return
+			}
+		}
+		writeJSON(w, http.StatusCreated, c.register(req))
+	})
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		if !c.heartbeat(r.PathValue("id")) {
+			writeError(w, http.StatusNotFound, ErrUnknownWorker)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/workers/{id}/lease", func(w http.ResponseWriter, r *http.Request) {
+		l, err := c.lease(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		if l == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, l)
+	})
+	mux.HandleFunc("POST /v1/workers/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		var res UnitResult
+		if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding unit result: %w", err))
+			return
+		}
+		switch err := c.complete(r.PathValue("id"), res); {
+		case errors.Is(err, ErrStaleLease):
+			writeError(w, http.StatusConflict, err)
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		}
+	})
+	mux.HandleFunc("DELETE /v1/workers/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !c.deregister(r.PathValue("id")) {
+			writeError(w, http.StatusNotFound, ErrUnknownWorker)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Stats())
+	})
+	mux.HandleFunc("GET /v1/fleet/jobs/{id}/input", func(w http.ResponseWriter, r *http.Request) {
+		payload, ok := c.inputOf(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no such fleet job %q", r.PathValue("id")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(payload)
+	})
+	return mux
+}
+
+// writeJSON encodes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError encodes a JSON error envelope.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,451 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdtask/internal/engine"
+	"mdtask/internal/hausdorff"
+	"mdtask/internal/leaflet"
+	"mdtask/internal/linalg"
+	"mdtask/internal/psa"
+	"mdtask/internal/traj"
+)
+
+// WorkerOptions configures a fleet worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8077".
+	Coordinator string
+	// Name is a display name reported at registration.
+	Name string
+	// Parallel is the number of concurrent unit executors (< 1: 1).
+	Parallel int
+	// RegisterWait bounds how long the initial registration retries
+	// while the coordinator is unreachable (default 10s) — workers may
+	// legitimately boot before their coordinator.
+	RegisterWait time.Duration
+	// Client overrides the HTTP client (default: 2-minute timeout).
+	Client *http.Client
+	// Logf, when non-nil, receives worker lifecycle log lines.
+	Logf func(format string, args ...interface{})
+}
+
+// Worker is the pull-based execution agent: it registers with a
+// coordinator, heartbeats, leases work units, runs them with the
+// in-process kernels, and posts results back. On a 404 from the
+// coordinator (restart, or this worker declared dead during a long
+// pause) it transparently re-registers under a fresh id.
+type Worker struct {
+	o    WorkerOptions
+	base string
+
+	mu   sync.Mutex
+	id   string
+	resp RegisterResponse
+
+	inputs inputCache
+
+	// UnitsDone counts results the coordinator accepted.
+	UnitsDone atomic.Int64
+	// Metrics accounts executed units locally (for logs; the
+	// coordinator keeps the authoritative per-job accounting).
+	Metrics engine.Metrics
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartWorker registers with the coordinator and starts the heartbeat
+// and executor loops.
+func StartWorker(o WorkerOptions) (*Worker, error) {
+	if o.Parallel < 1 {
+		o.Parallel = 1
+	}
+	if o.RegisterWait <= 0 {
+		o.RegisterWait = 10 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+	w := &Worker{
+		o:    o,
+		base: strings.TrimRight(o.Coordinator, "/"),
+		stop: make(chan struct{}),
+	}
+	w.inputs.init(4)
+	deadline := time.Now().Add(o.RegisterWait)
+	for {
+		err := w.register()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("fleet: registering with %s: %w", w.base, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	w.wg.Add(1 + o.Parallel)
+	go w.heartbeatLoop()
+	for i := 0; i < o.Parallel; i++ {
+		go w.executorLoop()
+	}
+	return w, nil
+}
+
+// ID returns the worker's current coordinator-assigned id.
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// Close stops leasing, waits for in-flight units to finish posting,
+// and deregisters so the coordinator requeues nothing.
+func (w *Worker) Close() {
+	select {
+	case <-w.stop:
+		return
+	default:
+	}
+	close(w.stop)
+	w.wg.Wait()
+	req, err := http.NewRequest(http.MethodDelete, w.base+"/v1/workers/"+w.ID(), nil)
+	if err == nil {
+		if resp, err := w.o.Client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// register (re-)registers the worker. Concurrent callers coalesce: if
+// another goroutine re-registered since staleID was read, the fresh
+// identity is kept.
+func (w *Worker) register() error {
+	return w.reregister("")
+}
+
+func (w *Worker) reregister(staleID string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if staleID != "" && w.id != staleID {
+		return nil // someone else already re-registered
+	}
+	body, err := json.Marshal(RegisterRequest{Name: w.o.Name})
+	if err != nil {
+		return err
+	}
+	resp, err := w.o.Client.Post(w.base+"/v1/workers", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("fleet: register: coordinator returned %s", resp.Status)
+	}
+	var rr RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return err
+	}
+	w.id = rr.ID
+	w.resp = rr
+	w.o.Logf("fleet worker %s registered with %s (heartbeat %dms, poll %dms)",
+		rr.ID, w.base, rr.HeartbeatMillis, rr.PollMillis)
+	return nil
+}
+
+// intervals returns the advertised cadence.
+func (w *Worker) intervals() (heartbeat, poll time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	heartbeat = time.Duration(w.resp.HeartbeatMillis) * time.Millisecond
+	poll = time.Duration(w.resp.PollMillis) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	return heartbeat, poll
+}
+
+// heartbeatLoop keeps the worker alive in the coordinator's failure
+// detector.
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	for {
+		hb, _ := w.intervals()
+		select {
+		case <-w.stop:
+			return
+		case <-time.After(hb):
+		}
+		id := w.ID()
+		resp, err := w.o.Client.Post(w.base+"/v1/workers/"+id+"/heartbeat", "application/json", nil)
+		if err != nil {
+			continue // transient; the next beat retries
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			_ = w.reregister(id)
+		}
+	}
+}
+
+// executorLoop pulls and runs units until stopped.
+func (w *Worker) executorLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		_, poll := w.intervals()
+		l, err := w.lease()
+		if err != nil || l == nil {
+			select {
+			case <-w.stop:
+				return
+			case <-time.After(poll):
+			}
+			continue
+		}
+		res, err := w.execute(l)
+		if err != nil {
+			// Leave the lease to expire and requeue; a healthy worker
+			// (possibly this one, re-fetching input) will redo it.
+			w.o.Logf("fleet worker %s: unit %s/%d failed: %v", w.ID(), l.Job, l.Unit, err)
+			w.Metrics.RecordFailure()
+			continue
+		}
+		if w.post(res) {
+			w.UnitsDone.Add(1)
+		}
+	}
+}
+
+// lease pulls one unit; nil means no work available.
+func (w *Worker) lease() (*Lease, error) {
+	id := w.ID()
+	resp, err := w.o.Client.Post(w.base+"/v1/workers/"+id+"/lease", "application/json", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusNotFound:
+		return nil, w.reregister(id)
+	case http.StatusOK:
+		var l Lease
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			return nil, err
+		}
+		return &l, nil
+	default:
+		return nil, fmt.Errorf("fleet: lease: coordinator returned %s", resp.Status)
+	}
+}
+
+// execute runs one leased unit with the shared in-process kernels.
+func (w *Worker) execute(l *Lease) (UnitResult, error) {
+	res := UnitResult{Lease: l.Lease, Job: l.Job, Unit: l.Unit}
+	start := time.Now()
+	switch l.Analysis {
+	case AnalysisPSA:
+		if l.PSA == nil {
+			return res, fmt.Errorf("fleet: PSA lease without unit geometry")
+		}
+		in, err := w.inputs.ensemble(w, l.Job)
+		if err != nil {
+			return res, err
+		}
+		method, err := hausdorff.ParseMethod(l.PSA.Method)
+		if err != nil {
+			return res, err
+		}
+		var m engine.Metrics
+		br := psa.ComputeBlock(in, psa.Block{I0: l.PSA.I0, I1: l.PSA.I1, J0: l.PSA.J0, J1: l.PSA.J1}, psa.Opts{
+			Symmetric: l.PSA.Symmetric,
+			Method:    method,
+			Metrics:   &m,
+		})
+		snap := m.Snapshot()
+		res.ValuesB64 = PackFloats(br.Values)
+		res.Counters = Counters{
+			Evaluated: snap.PairsEvaluated,
+			Pruned:    snap.PairsPruned,
+			Abandoned: snap.PairsAbandoned,
+		}
+	case AnalysisLeaflet:
+		if l.Leaflet == nil {
+			return res, fmt.Errorf("fleet: Leaflet lease without unit geometry")
+		}
+		coords, err := w.inputs.coords(w, l.Job)
+		if err != nil {
+			return res, err
+		}
+		spec := leaflet.BlockSpec{RLo: l.Leaflet.RLo, RHi: l.Leaflet.RHi, CLo: l.Leaflet.CLo, CHi: l.Leaflet.CHi}
+		if err := spec.Valid(len(coords)); err != nil {
+			return res, err
+		}
+		comps, edges := leaflet.BlockPartial(coords, spec, l.Leaflet.Cutoff, l.Leaflet.Tree)
+		res.Comps = comps
+		res.Edges = edges
+	default:
+		return res, fmt.Errorf("fleet: unknown analysis %q", l.Analysis)
+	}
+	elapsed := time.Since(start)
+	res.ElapsedNS = elapsed.Nanoseconds()
+	w.Metrics.RecordTask(elapsed)
+	return res, nil
+}
+
+// post ships a unit result; false means the coordinator rejected it
+// (stale lease — the unit was requeued to someone else).
+func (w *Worker) post(res UnitResult) bool {
+	body, err := json.Marshal(res)
+	if err != nil {
+		return false
+	}
+	resp, err := w.o.Client.Post(w.base+"/v1/workers/"+w.ID()+"/results", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.o.Logf("fleet worker %s: unit %s/%d rejected: %s", w.ID(), res.Job, res.Unit, resp.Status)
+		return false
+	}
+	return true
+}
+
+// fetchInput downloads a job's input payload.
+func (w *Worker) fetchInput(jobID string) ([]byte, error) {
+	resp, err := w.o.Client.Get(w.base + "/v1/fleet/jobs/" + jobID + "/input")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: input of job %s: coordinator returned %s", jobID, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// inputCache holds decoded job inputs, fetched once per job per worker
+// whatever the executor parallelism, evicting the least recently used
+// beyond a small bound (workers typically serve one or two jobs at a
+// time; inputs dominate worker memory).
+type inputCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*inputEntry
+	order   []string // LRU, most recent last
+}
+
+type inputEntry struct {
+	once   sync.Once
+	ens    traj.Ensemble
+	coords []linalg.Vec3
+	err    error
+}
+
+func (ic *inputCache) init(limit int) {
+	ic.cap = limit
+	ic.entries = make(map[string]*inputEntry)
+}
+
+// entry returns the cache slot for a job, fetching and decoding its
+// payload on first use (concurrent executors block on the same fetch).
+func (ic *inputCache) entry(w *Worker, jobID string) *inputEntry {
+	ic.mu.Lock()
+	e, ok := ic.entries[jobID]
+	if ok {
+		for i, id := range ic.order {
+			if id == jobID {
+				ic.order = append(ic.order[:i], ic.order[i+1:]...)
+				break
+			}
+		}
+	} else {
+		e = &inputEntry{}
+		ic.entries[jobID] = e
+		if len(ic.order) >= ic.cap {
+			evict := ic.order[0]
+			ic.order = ic.order[1:]
+			delete(ic.entries, evict)
+		}
+	}
+	ic.order = append(ic.order, jobID)
+	ic.mu.Unlock()
+	e.once.Do(func() {
+		raw, err := w.fetchInput(jobID)
+		if err != nil {
+			e.err = err
+			return
+		}
+		switch {
+		case len(raw) > 0 && raw[0] == inputTagPSA:
+			e.ens, e.err = DecodeEnsemble(raw)
+		case len(raw) > 0 && raw[0] == inputTagLeaflet:
+			e.coords, e.err = DecodeCoords(raw)
+		default:
+			e.err = fmt.Errorf("fleet: unrecognized input payload for job %s", jobID)
+		}
+	})
+	return e
+}
+
+// ensemble returns a job's decoded PSA input.
+func (ic *inputCache) ensemble(w *Worker, jobID string) (traj.Ensemble, error) {
+	e := ic.entry(w, jobID)
+	if e.err != nil {
+		ic.forget(jobID, e)
+		return nil, e.err
+	}
+	if e.ens == nil {
+		return nil, fmt.Errorf("fleet: job %s input is not a PSA ensemble", jobID)
+	}
+	return e.ens, nil
+}
+
+// coords returns a job's decoded Leaflet input.
+func (ic *inputCache) coords(w *Worker, jobID string) ([]linalg.Vec3, error) {
+	e := ic.entry(w, jobID)
+	if e.err != nil {
+		ic.forget(jobID, e)
+		return nil, e.err
+	}
+	if e.coords == nil {
+		return nil, fmt.Errorf("fleet: job %s input is not a coordinate set", jobID)
+	}
+	return e.coords, nil
+}
+
+// forget drops a failed fetch so the next attempt retries instead of
+// replaying a cached transient error.
+func (ic *inputCache) forget(jobID string, failed *inputEntry) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if ic.entries[jobID] == failed {
+		delete(ic.entries, jobID)
+		for i, id := range ic.order {
+			if id == jobID {
+				ic.order = append(ic.order[:i], ic.order[i+1:]...)
+				break
+			}
+		}
+	}
+}

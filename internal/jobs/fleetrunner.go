@@ -1,0 +1,99 @@
+package jobs
+
+import (
+	"errors"
+
+	"mdtask/internal/fleet"
+	"mdtask/internal/leaflet"
+	"mdtask/internal/psa"
+)
+
+// The fleet runners bridge the jobs layer to the distributed
+// coordinator/worker engine. Bound to a shared coordinator (the one
+// cmd/mdserver embeds and cmd/mdworker processes pull from), a job's
+// blocks fan out across whatever workers are registered; with no
+// coordinator bound (the CLI one-shot path), each job boots an
+// ephemeral in-process loopback fleet sized by the spec's parallelism,
+// so `-engine fleet` works standalone while still exercising the full
+// wire protocol.
+
+// fleetCoordinator resolves the coordinator a fleet job runs on,
+// returning a cleanup for the ephemeral case.
+func fleetCoordinator(shared *fleet.Coordinator, workers int) (*fleet.Coordinator, func(), error) {
+	if shared != nil {
+		return shared, func() {}, nil
+	}
+	lf, err := fleet.StartLocal(workers, fleet.LocalOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	return lf.C, lf.Close, nil
+}
+
+// awaitFleet waits a submitted fleet job out, mapping abort to the
+// jobs layer's cooperative-cancellation error.
+func awaitFleet(c *fleet.Coordinator, job *fleet.Job, rc *RunContext) error {
+	defer c.Drop(job)
+	if err := job.Wait(rc.Cancelled); err != nil {
+		if errors.Is(err, fleet.ErrAborted) {
+			return ErrCancelled
+		}
+		return err
+	}
+	return nil
+}
+
+// psaFleetRunner builds the PSA runner for the fleet engine.
+func psaFleetRunner(shared *fleet.Coordinator) Runner {
+	return func(rc *RunContext, spec Spec, in *Input) (*Result, error) {
+		if rc.Cancelled() {
+			return nil, ErrCancelled
+		}
+		c, cleanup, err := fleetCoordinator(shared, spec.ranks())
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		// Cancellation and metrics are coordinator-side concerns, so the
+		// opts carry only what changes the computed values' schedule.
+		opts := psa.Opts{Symmetric: !spec.FullMatrix, Method: spec.hausdorffMethod()}
+		job, err := c.SubmitPSA(in.Ens, spec.groupSize(len(in.Ens)), opts, rc.Metrics())
+		if err != nil {
+			return nil, err
+		}
+		if err := awaitFleet(c, job, rc); err != nil {
+			return nil, err
+		}
+		return &Result{Matrix: job.Matrix()}, nil
+	}
+}
+
+// leafletFleetRunner builds the Leaflet Finder runner for the fleet
+// engine. All approaches run the Parallel-CC dataflow over the 2-D
+// tiling (only components cross the wire); the tree approach selects
+// BallTree edge discovery, the rest pairwise distances.
+func leafletFleetRunner(shared *fleet.Coordinator) Runner {
+	return func(rc *RunContext, spec Spec, in *Input) (*Result, error) {
+		if rc.Cancelled() {
+			return nil, ErrCancelled
+		}
+		approach, _, err := ParseApproach(spec.Approach)
+		if err != nil {
+			return nil, err
+		}
+		c, cleanup, err := fleetCoordinator(shared, spec.ranks())
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		tree := approach == leaflet.TreeSearch
+		job, err := c.SubmitLeaflet(in.Coords, spec.Cutoff, spec.Tasks, tree, rc.Metrics())
+		if err != nil {
+			return nil, err
+		}
+		if err := awaitFleet(c, job, rc); err != nil {
+			return nil, err
+		}
+		return &Result{Leaflet: job.Leaflet()}, nil
+	}
+}

@@ -1,0 +1,130 @@
+package jobs
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// The tests in this file are only meaningful under -race (CI runs the
+// suite with it): they hammer the scheduler's terminal transitions
+// from many goroutines at once and assert the invariants that must
+// hold whoever wins each race.
+
+// TestSchedulerCancelWhileRunningRace races a storm of Cancel and
+// Status calls against a running job's drain-to-cancelled transition.
+func TestSchedulerCancelWhileRunningRace(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	s := NewScheduler(blockingRegistry(started, release), Options{Workers: 1})
+	defer s.Close()
+	spec := validPSASpec()
+	spec.Engine = EngineSerial
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Cancel(job.ID())
+				_ = job.Status()
+				_ = s.Metrics()
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := waitTerminal(t, job)
+	if st.State != StateCancelled {
+		t.Fatalf("job finished %s, want cancelled", st.State)
+	}
+	if res, _, _ := job.Result(); res != nil {
+		t.Error("cancelled job published a result")
+	}
+	if s.Metrics().CacheEntries != 0 {
+		t.Error("cancelled job reached the cache")
+	}
+}
+
+// TestAPIDeleteAfterDoneRace races DELETE against result and status
+// reads on a finished job: every DELETE must answer 409 (the job is
+// already done, cancellation changes nothing) and the result must stay
+// served with 200 throughout.
+func TestAPIDeleteAfterDoneRace(t *testing.T) {
+	ts, _ := newTestServer(t, DefaultRegistry(), Options{Workers: 1})
+	st := submitJob(t, ts.URL, validPSASpec())
+	if st = pollJob(t, ts.URL, st.ID); st.State != StateDone {
+		t.Fatalf("job finished %s", st.State)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				switch g % 3 {
+				case 0:
+					if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, ""); code != http.StatusConflict {
+						t.Errorf("DELETE after done: got %d, want 409", code)
+					}
+				case 1:
+					if _, code := fetchResult(t, ts.URL, st.ID); code != http.StatusOK {
+						t.Errorf("result after done: got %d, want 200", code)
+					}
+				default:
+					if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID, ""); code != http.StatusOK {
+						t.Errorf("status after done: got %d, want 200", code)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if final := pollJob(t, ts.URL, st.ID); final.State != StateDone {
+		t.Fatalf("done job mutated to %s by racing DELETEs", final.State)
+	}
+}
+
+// TestAPIDeleteWhileRunningRace races concurrent DELETEs against a
+// running job: whoever wins, every DELETE observes either the
+// cancellation request taking effect or the already-cancelled state —
+// both 200 — and the job drains to cancelled exactly once.
+func TestAPIDeleteWhileRunningRace(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	ts, _ := newTestServer(t, blockingRegistry(started, release), Options{Workers: 1})
+	spec := validPSASpec()
+	spec.Engine = EngineSerial
+	st := submitJob(t, ts.URL, spec)
+	<-started
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, "")
+				if code != http.StatusOK {
+					t.Errorf("DELETE on running/cancelled job: got %d, want 200", code)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if final := pollJob(t, ts.URL, st.ID); final.State != StateCancelled {
+		t.Fatalf("job finished %s, want cancelled", final.State)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"mdtask/internal/dask"
 	"mdtask/internal/engine"
+	"mdtask/internal/fleet"
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/leaflet"
 	"mdtask/internal/pilot"
@@ -111,13 +112,29 @@ func (r *Registry) Names() []string {
 }
 
 // DefaultRegistry returns a registry with both analyses registered on
-// all five engines.
+// all six engines. Fleet jobs boot an ephemeral in-process fleet each —
+// the CLI one-shot behaviour; servers embedding a shared coordinator
+// use RegistryWithFleet.
 func DefaultRegistry() *Registry {
+	return RegistryWithFleet(nil)
+}
+
+// RegistryWithFleet returns the default registry with the fleet
+// runners bound to coordinator c, so fleet jobs fan out over whatever
+// workers are registered with c (cmd/mdserver passes its embedded
+// coordinator). A nil c makes every fleet job boot an ephemeral
+// loopback fleet sized by its spec's parallelism instead.
+func RegistryWithFleet(c *fleet.Coordinator) *Registry {
 	r := NewRegistry()
 	for _, eng := range Engines {
+		if eng == EngineFleet {
+			continue
+		}
 		must(r.Register(RunnerName(AnalysisPSA, eng), psaRunner(eng)))
 		must(r.Register(RunnerName(AnalysisLeaflet, eng), leafletRunner(eng)))
 	}
+	must(r.Register(RunnerName(AnalysisPSA, EngineFleet), psaFleetRunner(c)))
+	must(r.Register(RunnerName(AnalysisLeaflet, EngineFleet), leafletFleetRunner(c)))
 	return r
 }
 
@@ -167,6 +184,10 @@ func PlannedTasks(spec Spec, in *Input) int {
 	case AnalysisLeaflet:
 		if spec.Engine == EngineSerial {
 			return 1 // the serial runner is one task, whatever the plan says
+		}
+		if spec.Engine == EngineFleet {
+			// The fleet runs every approach over the 2-D tiling.
+			return len(leaflet.Plan2D(len(in.Coords), spec.Tasks))
 		}
 		if spec.Approach == "broadcast" {
 			parts := spec.Tasks

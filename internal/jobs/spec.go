@@ -23,17 +23,20 @@ const (
 )
 
 // Engine names. EngineSerial is the single-goroutine reference runner;
-// the other four are the paper's task-parallel engines.
+// spark, dask, mpi and pilot are the paper's in-process task-parallel
+// engines; fleet is the multi-process coordinator/worker engine
+// (internal/fleet).
 const (
 	EngineSerial = "serial"
 	EngineSpark  = "spark"
 	EngineDask   = "dask"
 	EngineMPI    = "mpi"
 	EnginePilot  = "pilot"
+	EngineFleet  = "fleet"
 )
 
 // Engines lists every engine name a runner is registered for.
-var Engines = []string{EngineSerial, EngineSpark, EngineDask, EngineMPI, EnginePilot}
+var Engines = []string{EngineSerial, EngineSpark, EngineDask, EngineMPI, EnginePilot, EngineFleet}
 
 // Analyses lists every analysis name a runner is registered for.
 var Analyses = []string{AnalysisPSA, AnalysisLeaflet}
@@ -65,7 +68,7 @@ type SynthSpec struct {
 type Spec struct {
 	// Analysis is "psa" or "leaflet".
 	Analysis string `json:"analysis"`
-	// Engine is "serial", "spark", "dask", "mpi" or "pilot"
+	// Engine is "serial", "spark", "dask", "mpi", "pilot" or "fleet"
 	// (default "serial").
 	Engine string `json:"engine,omitempty"`
 	// Parallelism is the worker/rank count (0: automatic — GOMAXPROCS
@@ -109,7 +112,7 @@ func ParseEngine(s string) (string, error) {
 			return e, nil
 		}
 	}
-	return "", fmt.Errorf("jobs: unknown engine %q (want serial|spark|dask|mpi|pilot)", s)
+	return "", fmt.Errorf("jobs: unknown engine %q (want serial|spark|dask|mpi|pilot|fleet)", s)
 }
 
 // ParseApproach canonicalizes a Leaflet Finder approach name, accepting

@@ -1,0 +1,65 @@
+package leaflet
+
+import (
+	"fmt"
+
+	"mdtask/internal/graph"
+	"mdtask/internal/linalg"
+)
+
+// BlockSpec addresses one 2-D tile of the pairwise comparison space by
+// atom index ranges: rows [RLo,RHi) against columns [CLo,CHi). It is
+// the distributable unit of the fleet engine — plain integers that
+// survive a trip over the wire, unlike the unexported block type the
+// in-process drivers share.
+type BlockSpec struct {
+	RLo, RHi, CLo, CHi int
+}
+
+// Diagonal reports whether the tile compares a chunk against itself.
+func (b BlockSpec) Diagonal() bool { return b.RLo == b.CLo && b.RHi == b.CHi }
+
+// Valid checks the spec's ranges against an n-atom system.
+func (b BlockSpec) Valid(n int) error {
+	if b.RLo < 0 || b.RLo > b.RHi || b.RHi > n || b.CLo < 0 || b.CLo > b.CHi || b.CHi > n {
+		return fmt.Errorf("leaflet: block %+v out of range for %d atoms", b, n)
+	}
+	return nil
+}
+
+// Blocks returns the 2-D tiling of Plan2D as addressable specs: the
+// same upper-triangular chunk-pair schedule Approaches 2-4 run, with
+// every unordered atom pair covered by exactly one tile.
+func Blocks(n, maxTasks int) []BlockSpec {
+	blocks := blocks2D(n, maxTasks)
+	out := make([]BlockSpec, len(blocks))
+	for i, b := range blocks {
+		out[i] = BlockSpec{RLo: b.rows.lo, RHi: b.rows.hi, CLo: b.cols.lo, CHi: b.cols.hi}
+	}
+	return out
+}
+
+// BlockPartial computes one tile's partial connected components and its
+// discovered edge count — the map side of the Parallel-CC architecture
+// (tree selects the BallTree kernel of Approach 4, otherwise pairwise
+// distances). This is the task body fleet workers execute.
+func BlockPartial(coords []linalg.Vec3, b BlockSpec, cutoff float64, tree bool) ([]graph.Component, int64) {
+	blk := block{
+		rows: span{lo: b.RLo, hi: b.RHi},
+		cols: span{lo: b.CLo, hi: b.CHi},
+	}
+	edges := blockEdges(coords, blk, cutoff, tree)
+	return graph.PartialComponents(edges), int64(len(edges))
+}
+
+// FromPartials folds per-unit partial component sets (in unit order)
+// into a full Result over n atoms, exactly as the in-process drivers'
+// reduce does: sets sharing a node merge, and the merged components
+// expand into the canonical labeling.
+func FromPartials(n int, partials [][]graph.Component, stats Stats) *Result {
+	var merged []graph.Component
+	for _, p := range partials {
+		merged = mergePartialSets(merged, p)
+	}
+	return finish(labelsFromComponents(n, merged), stats)
+}

@@ -116,7 +116,7 @@ func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, er
 	// of twice, and a diagonal block stages its row set only once.
 	blobs := make([][]byte, len(ens))
 	for i, t := range ens {
-		b, err := encodeTraj(t)
+		b, err := traj.EncodeMDT(t, 8)
 		if err != nil {
 			return nil, err
 		}
@@ -234,33 +234,6 @@ func blockTrajIndices(b Block) []int {
 		}
 	}
 	return out
-}
-
-// encodeTraj serializes a trajectory to MDT bytes.
-func encodeTraj(t *traj.Trajectory) ([]byte, error) {
-	var buf bytesBuffer
-	w, err := traj.NewMDTWriter(&buf, t.Name, t.NAtoms, len(t.Frames), 8)
-	if err != nil {
-		return nil, err
-	}
-	for _, f := range t.Frames {
-		if err := w.WriteFrame(f); err != nil {
-			return nil, err
-		}
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
-	return buf.b, nil
-}
-
-// bytesBuffer is a minimal io.Writer over a byte slice (avoids pulling
-// in bytes.Buffer's unused surface in hot paths).
-type bytesBuffer struct{ b []byte }
-
-func (w *bytesBuffer) Write(p []byte) (int, error) {
-	w.b = append(w.b, p...)
-	return len(p), nil
 }
 
 // encodeFloats packs float64 values little-endian.

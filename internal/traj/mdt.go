@@ -2,6 +2,7 @@ package traj
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -250,6 +251,45 @@ func WriteMDTFile(path string, t *Trajectory, prec int) error {
 		return err
 	}
 	return f.Close()
+}
+
+// EncodeMDT serializes a whole trajectory to MDT bytes with the given
+// coordinate precision (4 or 8 bytes) — the in-memory counterpart of
+// WriteMDTFile, used wherever trajectories cross a process boundary
+// (pilot staging blobs, fleet input payloads).
+func EncodeMDT(t *Trajectory, prec int) ([]byte, error) {
+	var buf sliceWriter
+	w, err := NewMDTWriter(&buf, t.Name, t.NAtoms, len(t.Frames), prec)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range t.Frames {
+		if err := w.WriteFrame(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// DecodeMDT deserializes MDT bytes back into a trajectory, verifying
+// the trailing checksum.
+func DecodeMDT(b []byte) (*Trajectory, error) {
+	mr, err := NewMDTReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	return mr.ReadAll()
+}
+
+// sliceWriter is a minimal append-based io.Writer over a byte slice.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
 }
 
 // ReadMDTFile reads a whole trajectory from path.

@@ -1,0 +1,161 @@
+#!/bin/sh
+# smoke_fleet.sh — CI smoke for the multi-process fleet engine.
+#
+# Boots mdserver (embedded fleet coordinator, short failure-detector
+# timings) and two external mdworker processes, runs the same synth PSA
+# job on the serial engine and on the fleet, kills one worker with
+# SIGKILL mid-run, and asserts:
+#
+#   1. the fleet job still completes (the dead worker's leased blocks
+#      are requeued onto the survivor), and
+#   2. its matrix is byte-identical to the serial engine's.
+#
+# Every spawned process is reaped from a single trap, so an assertion
+# failure can never leak an mdserver/mdworker onto a CI runner's port.
+set -eu
+
+PORT="${SMOKE_FLEET_PORT:-18078}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)"
+OUT="$(mktemp -d)"
+SERVER_PID=""
+W1_PID=""
+W2_PID=""
+
+cleanup() {
+    status=$?
+    for pid in "$W1_PID" "$W2_PID" "$SERVER_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    # Reap so no zombie outlives the recipe, then drop the scratch dirs.
+    wait 2>/dev/null || true
+    rm -rf "$BIN" "$OUT"
+    if [ "$status" -ne 0 ]; then
+        echo "smoke-fleet: FAILED (see above)" >&2
+    fi
+    exit "$status"
+}
+trap cleanup EXIT INT TERM HUP
+
+echo "smoke-fleet: building mdserver + mdworker"
+go build -o "$BIN/mdserver" ./cmd/mdserver
+go build -o "$BIN/mdworker" ./cmd/mdworker
+
+"$BIN/mdserver" -addr "127.0.0.1:$PORT" -workers 2 \
+    -fleet-lease-ttl 3s -fleet-heartbeat-ttl 1500ms -fleet-sweep 100ms \
+    >"$OUT/mdserver.log" 2>&1 &
+SERVER_PID=$!
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && { echo "smoke-fleet: mdserver never became healthy" >&2; exit 1; }
+    sleep 0.1
+done
+
+"$BIN/mdworker" -coordinator "$BASE" -name smoke-w1 >"$OUT/w1.log" 2>&1 &
+W1_PID=$!
+"$BIN/mdworker" -coordinator "$BASE" -name smoke-w2 >"$OUT/w2.log" 2>&1 &
+W2_PID=$!
+
+i=0
+until [ "$(curl -fsS "$BASE/v1/fleet" | jq -r .workers)" = "2" ]; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && { echo "smoke-fleet: workers never registered" >&2; exit 1; }
+    sleep 0.1
+done
+echo "smoke-fleet: mdserver up with 2 registered workers"
+
+# The job: big enough that killing a worker lands mid-run (10 blocks
+# of several hundred ms each on 2 workers — the kernel is O(frames²)
+# per trajectory pair, so frames dominate), deterministic via a fixed
+# seed.
+SPEC_TAIL='"parallelism":2,"tasks":16,"synth":{"count":8,"atoms":128,"frames":640,"seed":42}'
+
+submit() { # submit <engine> -> job id
+    curl -fsS -X POST "$BASE/v1/jobs" \
+        -d "{\"analysis\":\"psa\",\"engine\":\"$1\",$SPEC_TAIL}" | jq -r .id
+}
+
+poll_state() { # poll_state <id>
+    curl -fsS "$BASE/v1/jobs/$1" | jq -r .state
+}
+
+wait_done() { # wait_done <id> <max-deciseconds>
+    _i=0
+    while :; do
+        _state="$(poll_state "$1")"
+        case "$_state" in
+        done) return 0 ;;
+        failed | cancelled)
+            echo "smoke-fleet: job $1 ended $_state" >&2
+            curl -fsS "$BASE/v1/jobs/$1" >&2 || true
+            return 1
+            ;;
+        esac
+        _i=$((_i + 1))
+        [ "$_i" -ge "$2" ] && { echo "smoke-fleet: job $1 stuck in $_state" >&2; return 1; }
+        sleep 0.1
+    done
+}
+
+echo "smoke-fleet: running the serial reference job"
+SERIAL_ID="$(submit serial)"
+wait_done "$SERIAL_ID" 1200
+curl -fsS "$BASE/v1/jobs/$SERIAL_ID/result" | jq -S .matrix >"$OUT/serial.json"
+
+echo "smoke-fleet: running the fleet job and killing worker 1 mid-run"
+FLEET_ID="$(submit fleet)"
+
+# Wait until the fleet job is demonstrably mid-run (running, at least
+# one block done), then SIGKILL a worker — no drain, no deregister,
+# exactly the failure the requeue path exists for. The kill is the
+# point of this gate: a job that finishes before we can land it means
+# the job is sized wrong for this runner, and the gate fails rather
+# than silently skipping the failure-path coverage.
+KILLED=0
+i=0
+while :; do
+    TASKS_DONE="$(curl -fsS "$BASE/v1/jobs/$FLEET_ID" | jq -r .tasks_done)"
+    STATE="$(poll_state "$FLEET_ID")"
+    if [ "$STATE" = "running" ] && [ "$TASKS_DONE" -ge 1 ] 2>/dev/null; then
+        kill -9 "$W1_PID"
+        W1_PID=""
+        KILLED=1
+        echo "smoke-fleet: SIGKILLed worker 1 after $TASKS_DONE blocks"
+        break
+    fi
+    if [ "$STATE" = "done" ] || [ "$STATE" = "failed" ] || [ "$STATE" = "cancelled" ]; then
+        echo "smoke-fleet: fleet job reached $STATE before a worker could be killed mid-run;" >&2
+        echo "smoke-fleet: enlarge the synth job so the kill path is actually exercised" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    [ "$i" -ge 600 ] && { echo "smoke-fleet: fleet job never reached mid-run" >&2; exit 1; }
+    sleep 0.05
+done
+
+wait_done "$FLEET_ID" 1200
+
+# The coordinator must observe the death: the SIGKILLed worker stops
+# heartbeating, so the failure detector has to count it lost (and
+# requeue whatever it held) regardless of how the job finished.
+[ "$KILLED" -eq 1 ] || { echo "smoke-fleet: internal error: kill not performed" >&2; exit 1; }
+i=0
+until [ "$(curl -fsS "$BASE/v1/fleet" | jq -r .workers_lost)" -ge 1 ] 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && { echo "smoke-fleet: coordinator never declared the killed worker dead" >&2; exit 1; }
+    sleep 0.1
+done
+curl -fsS "$BASE/v1/jobs/$FLEET_ID/result" | jq -S .matrix >"$OUT/fleet.json"
+
+if ! cmp -s "$OUT/serial.json" "$OUT/fleet.json"; then
+    echo "smoke-fleet: fleet matrix differs from serial" >&2
+    diff "$OUT/serial.json" "$OUT/fleet.json" | head >&2 || true
+    exit 1
+fi
+
+REQUEUES="$(curl -fsS "$BASE/v1/fleet" | jq -r .requeues)"
+LOST="$(curl -fsS "$BASE/v1/fleet" | jq -r .workers_lost)"
+echo "smoke-fleet: matrices identical; coordinator saw requeues=$REQUEUES workers_lost=$LOST"
+echo "smoke-fleet: OK"
