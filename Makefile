@@ -2,8 +2,9 @@ GO ?= go
 SERVE_ADDR ?= :8077
 SMOKE_PORT ?= 18077
 BENCH_CURRENT ?= /tmp/mdtask-bench-current.json
+FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json bench-gate fmt vet serve smoke-serve smoke-fleet
+.PHONY: build test bench bench-json bench-gate fmt vet serve smoke-serve smoke-fleet smoke-stream fuzz race
 
 build:
 	$(GO) build ./...
@@ -52,6 +53,26 @@ smoke-serve:
 # the serial engine's (see scripts/smoke_fleet.sh).
 smoke-fleet:
 	sh scripts/smoke_fleet.sh
+
+# CI smoke for out-of-core streaming: an ensemble whose loaded payload
+# exceeds the streamed child's RSS budget must run to completion with
+# `psa -max-frames` inside that budget (peak RSS sampled from /proc),
+# byte-identical to the unconstrained run (see scripts/smoke_stream.sh).
+smoke-stream:
+	sh scripts/smoke_stream.sh
+
+# Run the trajectory-decoder fuzz targets for FUZZTIME each (native
+# `go test -fuzz`; seed corpora live in internal/traj/testdata/fuzz).
+fuzz:
+	$(GO) test -fuzz FuzzReadXYZT -fuzztime $(FUZZTIME) -run '^$$' ./internal/traj/
+	$(GO) test -fuzz FuzzDecodeMDT -fuzztime $(FUZZTIME) -run '^$$' ./internal/traj/
+	$(GO) test -fuzz FuzzWindowRoundTrip -fuzztime $(FUZZTIME) -run '^$$' ./internal/traj/
+
+# Dedicated race gate over the concurrency-heavy layers (the serving
+# scheduler, the fleet coordinator/worker protocol, and the streamed
+# PSA cancel paths), independent of the main test matrix.
+race:
+	$(GO) test -race -count=1 ./internal/jobs/... ./internal/fleet/... ./internal/psa/...
 
 bench:
 	$(GO) test -bench 'PSA|Hausdorff' -run '^$$' ./internal/bench/

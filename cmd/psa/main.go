@@ -10,6 +10,7 @@
 //	psa -in data/ -engine serial           # single-goroutine reference
 //	psa -in data/ -engine mpi -sym=false   # paper-faithful full N×N schedule
 //	psa -in data/ -engine fleet -parallel 4  # loopback coordinator/worker fleet
+//	psa -in data/ -max-frames 256          # out-of-core: stream 256-frame windows
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		tasks    = flag.Int("tasks", 0, "task count (0: one per worker)")
 		clusters = flag.Int("clusters", 0, "also cluster trajectories into k groups (0: off)")
 		sym      = flag.Bool("sym", true, "exploit H(A,B)=H(B,A): schedule only diagonal+upper blocks (-sym=false: paper-faithful full matrix)")
+		maxFr    = flag.Int("max-frames", 0, "stream trajectories as windows of at most this many frames (out-of-core; 0: fully in memory)")
 	)
 	flag.Parse()
 	// Reject unknown selector values at flag-parse time, before any input
@@ -39,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "psa:", err)
 		os.Exit(2)
 	}
-	if err := run(*in, *engine, *parallel, *method, *tasks, *clusters, *sym); err != nil {
+	if err := run(*in, *engine, *parallel, *method, *tasks, *clusters, *sym, *maxFr); err != nil {
 		fmt.Fprintln(os.Stderr, "psa:", err)
 		os.Exit(1)
 	}
@@ -56,23 +58,28 @@ func validateFlags(engineName, methodName string) error {
 	return nil
 }
 
-func run(in, engineName string, parallel int, methodName string, tasks, clusters int, sym bool) error {
+func run(in, engineName string, parallel int, methodName string, tasks, clusters int, sym bool, maxFrames int) error {
 	spec := jobs.Spec{
-		Analysis:    jobs.AnalysisPSA,
-		Engine:      engineName,
-		Parallelism: parallel,
-		Tasks:       tasks,
-		Method:      methodName,
-		FullMatrix:  !sym,
-		Path:        in,
+		Analysis:          jobs.AnalysisPSA,
+		Engine:            engineName,
+		Parallelism:       parallel,
+		Tasks:             tasks,
+		Method:            methodName,
+		FullMatrix:        !sym,
+		MaxResidentFrames: maxFrames,
+		Path:              in,
 	}
 	norm, input, err := jobs.Resolve(spec)
 	if err != nil {
 		return err
 	}
-	ens := input.Ens
-	fmt.Printf("loaded %d trajectories (%d atoms, %d frames each)\n",
-		len(ens), ens[0].NAtoms, ens[0].NFrames())
+	refs := input.Refs
+	mode := "loaded"
+	if input.Ens == nil {
+		mode = "streaming"
+	}
+	fmt.Printf("%s %d trajectories (%d atoms, %d frames each)\n",
+		mode, len(refs), refs[0].NAtoms(), refs[0].NFrames())
 	start := time.Now()
 	res, metrics, err := jobs.Run(jobs.DefaultRegistry(), norm, input)
 	if err != nil {
@@ -87,6 +94,10 @@ func run(in, engineName string, parallel int, methodName string, tasks, clusters
 		engineName, methodName, schedule, metrics.Tasks, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("kernel frame pairs: evaluated=%d pruned=%d abandoned=%d\n",
 		metrics.PairsEvaluated, metrics.PairsPruned, metrics.PairsAbandoned)
+	if maxFrames > 0 {
+		fmt.Printf("streaming: window=%d frames, peak resident=%d frames, bytes streamed=%d\n",
+			maxFrames, metrics.PeakResidentFrames, metrics.BytesStreamed)
+	}
 	for i := 0; i < mat.N; i++ {
 		for j := 0; j < mat.N; j++ {
 			fmt.Printf("%8.3f", mat.At(i, j))
@@ -106,7 +117,7 @@ func run(in, engineName string, parallel int, methodName string, tasks, clusters
 		for gi, group := range psa.Clusters(labels) {
 			fmt.Printf("  cluster %d:", gi)
 			for _, ix := range group {
-				fmt.Printf(" %s", ens[ix].Name)
+				fmt.Printf(" %s", refs[ix].Name())
 			}
 			fmt.Println()
 		}

@@ -23,36 +23,48 @@ func writeEnsemble(t *testing.T) string {
 
 func TestRunEndToEnd(t *testing.T) {
 	dir := writeEnsemble(t)
-	if err := run(dir, "spark", 2, "early-break", 0, 2, true); err != nil {
+	if err := run(dir, "spark", 2, "early-break", 0, 2, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Paper-faithful full-matrix mode stays available via -sym=false.
-	if err := run(dir, "spark", 2, "early-break", 0, 2, false); err != nil {
+	if err := run(dir, "spark", 2, "early-break", 0, 2, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSerialEngine(t *testing.T) {
 	// The registry adds a serial engine to the CLI's historical four.
-	if err := run(writeEnsemble(t), "serial", 1, "naive", 0, 0, true); err != nil {
+	if err := run(writeEnsemble(t), "serial", 1, "naive", 0, 0, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPrunedMethod(t *testing.T) {
-	if err := run(writeEnsemble(t), "dask", 2, "pruned", 0, 0, true); err != nil {
+	if err := run(writeEnsemble(t), "dask", 2, "pruned", 0, 0, true, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStreamed(t *testing.T) {
+	// -max-frames streams the on-disk ensemble out of core; every engine
+	// accepts it (dask exercised here, serial as the reference path).
+	dir := writeEnsemble(t)
+	if err := run(dir, "serial", 1, "pruned", 0, 0, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "dask", 2, "naive", 0, 0, false, 3); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(t.TempDir(), "spark", 1, "naive", 0, 0, true); err == nil {
+	if err := run(t.TempDir(), "spark", 1, "naive", 0, 0, true, 0); err == nil {
 		t.Error("empty directory accepted")
 	}
-	if err := run(t.TempDir(), "bogus", 1, "naive", 0, 0, true); err == nil {
+	if err := run(t.TempDir(), "bogus", 1, "naive", 0, 0, true, 0); err == nil {
 		t.Error("bad engine accepted")
 	}
-	if err := run(t.TempDir(), "spark", 1, "bogus", 0, 0, true); err == nil {
+	if err := run(t.TempDir(), "spark", 1, "bogus", 0, 0, true, 0); err == nil {
 		t.Error("bad method accepted")
 	}
 }

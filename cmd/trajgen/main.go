@@ -20,38 +20,61 @@ import (
 
 func main() {
 	var (
-		kind  = flag.String("kind", "ensemble", "what to generate: ensemble | membrane")
-		size  = flag.String("size", "small", "ensemble preset: small | medium | large")
-		n     = flag.Int("n", 4, "number of trajectories (ensemble)")
-		atoms = flag.Int("atoms", 131072, "atom count (membrane)")
-		seed  = flag.Uint64("seed", 42, "generator seed")
-		out   = flag.String("out", ".", "output directory")
+		kind   = flag.String("kind", "ensemble", "what to generate: ensemble | membrane")
+		size   = flag.String("size", "small", "ensemble preset: small | medium | large")
+		n      = flag.Int("n", 4, "number of trajectories (ensemble)")
+		atoms  = flag.Int("atoms", 131072, "atom count (membrane; overrides the ensemble preset when -frames is also set)")
+		frames = flag.Int("frames", 0, "frames per trajectory (with -atoms, overrides the ensemble preset; 0: preset)")
+		seed   = flag.Uint64("seed", 42, "generator seed")
+		out    = flag.String("out", ".", "output directory")
 	)
 	flag.Parse()
-	if err := run(*kind, *size, *n, *atoms, *seed, *out); err != nil {
+	atomsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "atoms" {
+			atomsSet = true
+		}
+	})
+	if err := run(*kind, *size, *n, *atoms, *frames, atomsSet, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "trajgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, size string, n, atoms int, seed uint64, out string) error {
+func run(kind, size string, n, atoms, frames int, atomsSet bool, seed uint64, out string) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
 	switch kind {
 	case "ensemble":
-		var preset synth.EnsemblePreset
-		switch size {
-		case "small":
-			preset = synth.Small
-		case "medium":
-			preset = synth.Medium
-		case "large":
-			preset = synth.Large
-		default:
-			return fmt.Errorf("unknown size %q (want small|medium|large)", size)
+		var ens traj.Ensemble
+		if frames > 0 {
+			// Explicit dimensions (e.g. ensembles sized to exceed a memory
+			// budget for the streaming smoke test) instead of a preset.
+			// -atoms must be given explicitly: its flag default is the
+			// membrane scale (131072), which would silently make each
+			// trajectory hundreds of MB here.
+			if !atomsSet {
+				return fmt.Errorf("-frames for an ensemble requires an explicit -atoms")
+			}
+			ens = make(traj.Ensemble, n)
+			for i := range ens {
+				ens[i] = synth.Walk(fmt.Sprintf("walk-%03d", i), atoms, frames, seed, uint64(i))
+			}
+		} else {
+			var preset synth.EnsemblePreset
+			switch size {
+			case "small":
+				preset = synth.Small
+			case "medium":
+				preset = synth.Medium
+			case "large":
+				preset = synth.Large
+			default:
+				return fmt.Errorf("unknown size %q (want small|medium|large)", size)
+			}
+			ens = synth.Ensemble(preset, n, seed)
 		}
-		ens := synth.Ensemble(preset, n, seed)
 		for _, t := range ens {
 			path := filepath.Join(out, t.Name+".mdt")
 			if err := traj.WriteMDTFile(path, t, 4); err != nil {

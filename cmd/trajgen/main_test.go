@@ -9,7 +9,7 @@ import (
 
 func TestGenerateEnsemble(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("ensemble", "small", 2, 0, 1, dir); err != nil {
+	if err := run("ensemble", "small", 2, 0, 0, false, 1, dir); err != nil {
 		t.Fatal(err)
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.mdt"))
@@ -27,7 +27,7 @@ func TestGenerateEnsemble(t *testing.T) {
 
 func TestGenerateMembrane(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("membrane", "", 0, 5000, 2, dir); err != nil {
+	if err := run("membrane", "", 0, 5000, 0, true, 2, dir); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := traj.ReadMDTFile(filepath.Join(dir, "membrane-5000.mdt"))
@@ -39,12 +39,35 @@ func TestGenerateMembrane(t *testing.T) {
 	}
 }
 
+func TestGenerateExplicitDimensions(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("ensemble", "small", 2, 7, 9, true, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.mdt"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("files = %v, %v", files, err)
+	}
+	tr, err := traj.ReadMDTFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NAtoms != 7 || tr.NFrames() != 9 {
+		t.Errorf("shape = %d/%d, want 7/9", tr.NAtoms, tr.NFrames())
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("bogus", "small", 1, 0, 1, dir); err == nil {
+	if err := run("bogus", "small", 1, 0, 0, false, 1, dir); err == nil {
 		t.Error("bad kind accepted")
 	}
-	if err := run("ensemble", "bogus", 1, 0, 1, dir); err == nil {
+	if err := run("ensemble", "bogus", 1, 0, 0, false, 1, dir); err == nil {
 		t.Error("bad size accepted")
+	}
+	// -frames without an explicit -atoms would inherit the membrane-scale
+	// atoms default and write hundreds of MB; it must be rejected.
+	if err := run("ensemble", "small", 1, 131072, 8, false, 1, dir); err == nil {
+		t.Error("-frames without explicit -atoms accepted")
 	}
 }

@@ -35,6 +35,15 @@ type Metrics struct {
 	PairsEvaluated int64
 	PairsPruned    int64
 	PairsAbandoned int64
+
+	// Streaming accounting of the out-of-core trajectory path:
+	// PeakResidentFrames is the largest number of frames any single
+	// task held materialized at once (≤ 2 × the configured window in
+	// streamed runs), and BytesStreamed is the total coordinate bytes
+	// decoded from trajectory sources — window re-scans count every
+	// time, making the streaming read amplification visible.
+	PeakResidentFrames int64
+	BytesStreamed      int64
 }
 
 // RecordTask accounts one completed task of the given duration.
@@ -74,6 +83,21 @@ func (m *Metrics) AddPairs(evaluated, pruned, abandoned int64) {
 	atomic.AddInt64(&m.PairsAbandoned, abandoned)
 }
 
+// ObservePeakResident widens the peak simultaneously-resident frame
+// count to at least frames.
+func (m *Metrics) ObservePeakResident(frames int64) {
+	for {
+		cur := atomic.LoadInt64(&m.PeakResidentFrames)
+		if frames <= cur || atomic.CompareAndSwapInt64(&m.PeakResidentFrames, cur, frames) {
+			return
+		}
+	}
+}
+
+// AddStreamed accounts coordinate bytes decoded from trajectory
+// sources.
+func (m *Metrics) AddStreamed(n int64) { atomic.AddInt64(&m.BytesStreamed, n) }
+
 // Snapshot returns a copy of the metrics safe to read.
 func (m *Metrics) Snapshot() Metrics {
 	m.mu.Lock()
@@ -91,6 +115,9 @@ func (m *Metrics) Snapshot() Metrics {
 		PairsEvaluated: atomic.LoadInt64(&m.PairsEvaluated),
 		PairsPruned:    atomic.LoadInt64(&m.PairsPruned),
 		PairsAbandoned: atomic.LoadInt64(&m.PairsAbandoned),
+
+		PeakResidentFrames: atomic.LoadInt64(&m.PeakResidentFrames),
+		BytesStreamed:      atomic.LoadInt64(&m.BytesStreamed),
 	}
 }
 
@@ -118,6 +145,8 @@ func (m *Metrics) MergeFrom(other *Metrics) {
 	atomic.AddInt64(&m.BytesStaged, s.BytesStaged)
 	atomic.AddInt64(&m.Failures, s.Failures)
 	m.AddPairs(s.PairsEvaluated, s.PairsPruned, s.PairsAbandoned)
+	m.ObservePeakResident(s.PeakResidentFrames)
+	m.AddStreamed(s.BytesStreamed)
 }
 
 // TaskPanicError wraps a panic recovered from a task so callers get an

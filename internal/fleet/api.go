@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // Handler exposes the coordinator over HTTP: the worker protocol
@@ -68,6 +69,26 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, c.Stats())
 	})
 	mux.HandleFunc("GET /v1/fleet/jobs/{id}/input", func(w http.ResponseWriter, r *http.Request) {
+		// ?traj=I&win=K serves one window of a streamed job as an MDT
+		// blob; without the parameters, the whole input payload of an
+		// in-memory job.
+		if tq := r.URL.Query().Get("traj"); tq != "" {
+			trajIx, err1 := strconv.Atoi(tq)
+			win, err2 := strconv.Atoi(r.URL.Query().Get("win"))
+			if err1 != nil || err2 != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("traj and win must be integers"))
+				return
+			}
+			blob, err := c.windowOf(r.PathValue("id"), trajIx, win)
+			if err != nil {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(blob)
+			return
+		}
 		payload, ok := c.inputOf(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no such fleet job %q", r.PathValue("id")))

@@ -103,6 +103,11 @@ type Job struct {
 	sym     bool
 	method  hausdorff.Method
 	results []psa.BlockResult
+	// Streamed PSA: refs replaces the eagerly encoded input — workers
+	// fetch window-sized MDT blobs on demand — and window is the frame
+	// budget per window.
+	refs   traj.RefEnsemble
+	window int
 
 	// Leaflet
 	nAtoms  int
@@ -187,31 +192,52 @@ func (j *Job) finishLocked(err error) {
 
 // SubmitPSA schedules an all-pairs Hausdorff job over the ensemble
 // with block edge n1 (the schedule of psa.Partition). Only the
-// Symmetric and Method fields of opts apply — cancellation and metrics
-// run coordinator-side: per-unit task times and kernel counters are
-// folded into m as results arrive (nil m: accounting is discarded).
+// Symmetric, Method and MaxResidentFrames fields of opts apply —
+// cancellation and metrics run coordinator-side: per-unit task times
+// and kernel counters are folded into m as results arrive (nil m:
+// accounting is discarded).
 func (c *Coordinator) SubmitPSA(ens traj.Ensemble, n1 int, opts psa.Opts, m *engine.Metrics) (*Job, error) {
 	if err := ens.Validate(); err != nil {
 		return nil, err
 	}
-	blocks, err := psa.Partition(len(ens), n1, opts.Symmetric)
-	if err != nil {
+	return c.SubmitPSARefs(traj.RefsOf(ens), n1, opts, m)
+}
+
+// SubmitPSARefs is SubmitPSA over trajectory handles. With
+// opts.MaxResidentFrames set the job is streamed: no whole-ensemble
+// payload is encoded — workers fetch window-sized MDT blobs on demand
+// (GET …/input?traj=I&win=K), encoded from the refs at request time,
+// so neither side ever materializes an ensemble.
+func (c *Coordinator) SubmitPSARefs(refs traj.RefEnsemble, n1 int, opts psa.Opts, m *engine.Metrics) (*Job, error) {
+	if err := refs.Validate(); err != nil {
 		return nil, err
 	}
-	input, err := EncodeEnsemble(ens)
+	blocks, err := psa.Partition(len(refs), n1, opts.Symmetric)
 	if err != nil {
 		return nil, err
 	}
 	j := &Job{
 		c:        c,
 		analysis: AnalysisPSA,
-		input:    input,
-		n:        len(ens),
+		n:        len(refs),
 		blocks:   blocks,
 		sym:      opts.Symmetric,
 		method:   opts.Method,
 		results:  make([]psa.BlockResult, len(blocks)),
+		refs:     refs,
 		metrics:  m,
+	}
+	if opts.MaxResidentFrames > 0 {
+		j.window = opts.MaxResidentFrames
+	} else {
+		ens, err := refs.Load()
+		if err != nil {
+			return nil, err
+		}
+		j.input, err = EncodeEnsemble(ens)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return c.admit(j, len(blocks))
 }
@@ -414,6 +440,15 @@ func (c *Coordinator) lease(workerID string) (*Lease, error) {
 			out.PSA = &PSAUnit{
 				I0: b.I0, I1: b.I1, J0: b.J0, J1: b.J1,
 				Symmetric: j.sym, Method: j.method.String(),
+				Window: j.window,
+			}
+			if j.window > 0 {
+				for _, ix := range b.TrajIndices() {
+					r := j.refs[ix]
+					out.PSA.Trajs = append(out.PSA.Trajs, PSATrajShape{
+						Index: ix, Name: r.Name(), NAtoms: r.NAtoms(), NFrames: r.NFrames(),
+					})
+				}
 			}
 		case AnalysisLeaflet:
 			t := j.tiles[unit]
@@ -427,15 +462,44 @@ func (c *Coordinator) lease(workerID string) (*Lease, error) {
 	return nil, nil
 }
 
-// inputOf serves a job's input payload.
+// inputOf serves a job's input payload. Streamed jobs have none (ok is
+// false): their workers fetch windows through windowOf.
 func (c *Coordinator) inputOf(jobID string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	j, ok := c.jobs[jobID]
-	if !ok {
+	if !ok || j.input == nil {
 		return nil, false
 	}
 	return j.input, true
+}
+
+// windowOf encodes one window of one trajectory of a streamed PSA job
+// as an MDT blob. The encode runs outside the coordinator lock — it
+// may read a file or a remote source — so a slow window fetch never
+// stalls the lease/heartbeat path.
+func (c *Coordinator) windowOf(jobID string, trajIx, win int) ([]byte, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[jobID]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fleet: no such job %q", jobID)
+	}
+	w := j.window
+	if w <= 0 {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fleet: job %s is not streamed", jobID)
+	}
+	if trajIx < 0 || trajIx >= len(j.refs) {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fleet: job %s has no trajectory %d", jobID, trajIx)
+	}
+	r := j.refs[trajIx]
+	c.mu.Unlock()
+	if win < 0 || win >= r.NumWindows(w) {
+		return nil, fmt.Errorf("fleet: trajectory %d of job %s has no window %d", trajIx, jobID, win)
+	}
+	return r.EncodeMDTWindow(win*w, w, 8)
 }
 
 // complete records one unit result. The lease must still be held: a
@@ -469,6 +533,8 @@ func (c *Coordinator) complete(workerID string, res UnitResult) error {
 	c.unitsCompleted++
 	j.metrics.RecordTask(time.Duration(res.ElapsedNS))
 	j.metrics.AddPairs(res.Counters.Evaluated, res.Counters.Pruned, res.Counters.Abandoned)
+	j.metrics.ObservePeakResident(res.PeakResidentFrames)
+	j.metrics.AddStreamed(res.BytesStreamed)
 	if j.remaining == 0 {
 		j.assembleLocked()
 	}

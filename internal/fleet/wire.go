@@ -52,6 +52,23 @@ type PSAUnit struct {
 	Symmetric bool `json:"symmetric,omitempty"`
 	// Method is the Hausdorff kernel: naive | early-break | pruned.
 	Method string `json:"method,omitempty"`
+	// Window, when positive, selects the streamed kernel: the worker
+	// fetches the block's trajectories window by window (at most Window
+	// frames each, GET …/input?traj=I&win=K) instead of downloading the
+	// whole ensemble, holding at most two windows of frames resident.
+	Window int `json:"window,omitempty"`
+	// Trajs carries the shapes of the trajectories the block reads —
+	// what a streamed worker needs to rebuild handles without fetching
+	// any frame data.
+	Trajs []PSATrajShape `json:"trajs,omitempty"`
+}
+
+// PSATrajShape is the identity and shape of one streamed trajectory.
+type PSATrajShape struct {
+	Index   int    `json:"index"`
+	Name    string `json:"name,omitempty"`
+	NAtoms  int    `json:"natoms"`
+	NFrames int    `json:"nframes"`
 }
 
 // LeafletUnit is one 2-D tile of the Leaflet Finder comparison space.
@@ -106,6 +123,10 @@ type UnitResult struct {
 
 	// Counters is the unit's Hausdorff frame-pair accounting.
 	Counters Counters `json:"counters"`
+	// PeakResidentFrames / BytesStreamed carry the unit's streamed-path
+	// residency and volume accounting (zero for in-memory units).
+	PeakResidentFrames int64 `json:"peak_resident_frames,omitempty"`
+	BytesStreamed      int64 `json:"bytes_streamed,omitempty"`
 	// ElapsedNS is the unit's wall time on the worker.
 	ElapsedNS int64 `json:"elapsed_ns"`
 }

@@ -267,20 +267,39 @@ func (w *Worker) execute(l *Lease) (UnitResult, error) {
 		if l.PSA == nil {
 			return res, fmt.Errorf("fleet: PSA lease without unit geometry")
 		}
-		in, err := w.inputs.ensemble(w, l.Job)
-		if err != nil {
-			return res, err
-		}
 		method, err := hausdorff.ParseMethod(l.PSA.Method)
 		if err != nil {
 			return res, err
 		}
+		block := psa.Block{I0: l.PSA.I0, I1: l.PSA.I1, J0: l.PSA.J0, J1: l.PSA.J1}
+		opts := psa.Opts{Symmetric: l.PSA.Symmetric, Method: method}
 		var m engine.Metrics
-		br := psa.ComputeBlock(in, psa.Block{I0: l.PSA.I0, I1: l.PSA.I1, J0: l.PSA.J0, J1: l.PSA.J1}, psa.Opts{
-			Symmetric: l.PSA.Symmetric,
-			Method:    method,
-			Metrics:   &m,
-		})
+		opts.Metrics = &m
+		var br psa.BlockResult
+		if l.PSA.Window > 0 {
+			// Streamed unit: never download the ensemble — rebuild each
+			// trajectory as a window-by-window fetch from the coordinator
+			// and run the out-of-core kernel (two windows resident).
+			refs, err := w.streamRefs(l)
+			if err != nil {
+				return res, err
+			}
+			opts.MaxResidentFrames = l.PSA.Window
+			br, err = psa.ComputeBlockRefs(refs, block, opts)
+			if err != nil {
+				return res, err
+			}
+		} else {
+			in, err := w.inputs.ensemble(w, l.Job)
+			if err != nil {
+				return res, err
+			}
+			var cerr error
+			br, cerr = psa.ComputeBlockRefs(traj.RefsOf(in), block, opts)
+			if cerr != nil {
+				return res, cerr
+			}
+		}
 		snap := m.Snapshot()
 		res.ValuesB64 = PackFloats(br.Values)
 		res.Counters = Counters{
@@ -288,6 +307,8 @@ func (w *Worker) execute(l *Lease) (UnitResult, error) {
 			Pruned:    snap.PairsPruned,
 			Abandoned: snap.PairsAbandoned,
 		}
+		res.PeakResidentFrames = snap.PeakResidentFrames
+		res.BytesStreamed = snap.BytesStreamed
 	case AnalysisLeaflet:
 		if l.Leaflet == nil {
 			return res, fmt.Errorf("fleet: Leaflet lease without unit geometry")
@@ -342,6 +363,49 @@ func (w *Worker) fetchInput(jobID string) ([]byte, error) {
 		return nil, fmt.Errorf("fleet: input of job %s: coordinator returned %s", jobID, resp.Status)
 	}
 	return io.ReadAll(resp.Body)
+}
+
+// fetchWindow downloads one window of one trajectory of a streamed job.
+func (w *Worker) fetchWindow(jobID string, trajIx, win int) ([]byte, error) {
+	resp, err := w.o.Client.Get(fmt.Sprintf("%s/v1/fleet/jobs/%s/input?traj=%d&win=%d", w.base, jobID, trajIx, win))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: window %d/%d of job %s: coordinator returned %s", trajIx, win, jobID, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// streamRefs rebuilds the trajectory handles of a streamed PSA lease:
+// each handle opens as a chain of window fetches, so no more than one
+// window's blob is decoded at a time and nothing is cached.
+func (w *Worker) streamRefs(l *Lease) (traj.RefEnsemble, error) {
+	maxIx := 0
+	for _, s := range l.PSA.Trajs {
+		if s.Index > maxIx {
+			maxIx = s.Index
+		}
+	}
+	refs := make(traj.RefEnsemble, maxIx+1)
+	for _, s := range l.PSA.Trajs {
+		s := s
+		nwin := (s.NFrames + l.PSA.Window - 1) / l.PSA.Window
+		r, err := traj.WindowChainRef(s.Name, s.NAtoms, s.NFrames, nwin,
+			func(win int) ([]byte, error) { return w.fetchWindow(l.Job, s.Index, win) })
+		if err != nil {
+			return nil, err
+		}
+		refs[s.Index] = r
+	}
+	block := psa.Block{I0: l.PSA.I0, I1: l.PSA.I1, J0: l.PSA.J0, J1: l.PSA.J1}
+	for _, ix := range block.TrajIndices() {
+		if ix >= len(refs) || refs[ix] == nil {
+			return nil, fmt.Errorf("fleet: streamed lease %s lacks the shape of trajectory %d", l.Lease, ix)
+		}
+	}
+	return refs, nil
 }
 
 // inputCache holds decoded job inputs, fetched once per job per worker

@@ -55,9 +55,14 @@ func psaFleetRunner(shared *fleet.Coordinator) Runner {
 		}
 		defer cleanup()
 		// Cancellation and metrics are coordinator-side concerns, so the
-		// opts carry only what changes the computed values' schedule.
-		opts := psa.Opts{Symmetric: !spec.FullMatrix, Method: spec.hausdorffMethod()}
-		job, err := c.SubmitPSA(in.Ens, spec.groupSize(len(in.Ens)), opts, rc.Metrics())
+		// opts carry only what changes the computed values' schedule and
+		// the streaming window.
+		opts := psa.Opts{
+			Symmetric:         !spec.FullMatrix,
+			Method:            spec.hausdorffMethod(),
+			MaxResidentFrames: spec.MaxResidentFrames,
+		}
+		job, err := c.SubmitPSARefs(in.Refs, spec.groupSize(len(in.Refs)), opts, rc.Metrics())
 		if err != nil {
 			return nil, err
 		}

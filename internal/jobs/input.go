@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash"
+	"io"
 	"math"
 	"path/filepath"
 	"sort"
@@ -21,32 +22,54 @@ import (
 // reached through different paths — or regenerated from the same synth
 // spec — content-addresses identically.
 type Input struct {
-	// Ens is the trajectory ensemble of a PSA job.
+	// Refs is the trajectory ensemble of a PSA job as windowed handles —
+	// always set for PSA. In a streamed on-disk job they are file-backed
+	// and no frame is resident until an engine windows them.
+	Refs traj.RefEnsemble
+	// Ens is the loaded trajectory ensemble of an in-memory PSA job
+	// (nil when the job streams from disk; Refs wrap it otherwise).
 	Ens traj.Ensemble
 	// Coords is the membrane snapshot of a Leaflet Finder job.
 	Coords []linalg.Vec3
 
 	digestOnce sync.Once
 	digest     string
+	digestErr  error
 }
 
 // ContentDigest returns the hex SHA-256 of the input content, computed
-// lazily (the one-shot CLI path never needs it) and cached.
-func (in *Input) ContentDigest() string {
+// lazily (the one-shot CLI path never needs it) and cached. Streamed
+// inputs are digested window by window and hash identically to the
+// same data loaded in memory.
+func (in *Input) ContentDigest() (string, error) {
 	in.digestOnce.Do(func() {
-		if in.Ens != nil {
+		switch {
+		case in.Ens != nil:
 			in.digest = ensembleDigest(in.Ens)
-		} else {
+		case in.Refs != nil:
+			in.digest, in.digestErr = refsDigest(in.Refs)
+		default:
 			in.digest = coordsDigest(in.Coords)
 		}
 	})
-	return in.digest
+	return in.digest, in.digestErr
 }
 
 // ResolveInput loads or generates the input a normalized spec describes.
 func ResolveInput(spec Spec) (*Input, error) {
 	switch spec.Analysis {
 	case AnalysisPSA:
+		if spec.MaxResidentFrames > 0 && spec.Path != "" {
+			// Out-of-core: resolve handles without loading any frames.
+			refs, err := resolveEnsembleRefs(spec)
+			if err != nil {
+				return nil, err
+			}
+			if err := refs.Validate(); err != nil {
+				return nil, err
+			}
+			return &Input{Refs: refs}, nil
+		}
 		ens, err := resolveEnsemble(spec)
 		if err != nil {
 			return nil, err
@@ -54,7 +77,7 @@ func ResolveInput(spec Spec) (*Input, error) {
 		if err := ens.Validate(); err != nil {
 			return nil, err
 		}
-		return &Input{Ens: ens}, nil
+		return &Input{Ens: ens, Refs: traj.RefsOf(ens)}, nil
 	case AnalysisLeaflet:
 		coords, err := resolveCoords(spec)
 		if err != nil {
@@ -79,14 +102,10 @@ func resolveEnsemble(spec Spec) (traj.Ensemble, error) {
 		}
 		return ens, nil
 	}
-	paths, err := filepath.Glob(filepath.Join(spec.Path, "*.mdt"))
+	paths, err := ensemblePaths(spec.Path)
 	if err != nil {
 		return nil, err
 	}
-	if len(paths) == 0 {
-		return nil, fmt.Errorf("jobs: no .mdt files in %s (generate some with trajgen)", spec.Path)
-	}
-	sort.Strings(paths)
 	ens := make(traj.Ensemble, 0, len(paths))
 	for _, p := range paths {
 		t, err := traj.ReadMDTFile(p)
@@ -96,6 +115,38 @@ func resolveEnsemble(spec Spec) (traj.Ensemble, error) {
 		ens = append(ens, t)
 	}
 	return ens, nil
+}
+
+// resolveEnsembleRefs builds file-backed handles over a directory of
+// .mdt files: only headers are read here, frames stay on disk until an
+// engine windows them.
+func resolveEnsembleRefs(spec Spec) (traj.RefEnsemble, error) {
+	paths, err := ensemblePaths(spec.Path)
+	if err != nil {
+		return nil, err
+	}
+	refs := make(traj.RefEnsemble, 0, len(paths))
+	for _, p := range paths {
+		r, err := traj.FileRef(p)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, r)
+	}
+	return refs, nil
+}
+
+// ensemblePaths lists a PSA input directory's .mdt files, sorted.
+func ensemblePaths(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.mdt"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("jobs: no .mdt files in %s (generate some with trajgen)", dir)
+	}
+	sort.Strings(paths)
+	return paths, nil
 }
 
 // resolveCoords reads frame 0 of a single-frame .mdt membrane file or
@@ -126,6 +177,42 @@ func ensembleDigest(ens traj.Ensemble) string {
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// refsDigest hashes a streamed ensemble frame by frame — one frame
+// resident at a time — producing exactly the digest ensembleDigest
+// would compute on the loaded data, so streamed and in-memory
+// submissions of the same input share one cache entry. The cost is one
+// full scan of the on-disk data per submission (content addressing
+// cannot be had for less without trusting file metadata); callers that
+// cannot afford the scan on the submit path should run through
+// RunLocal, which never digests.
+func refsDigest(refs traj.RefEnsemble) (string, error) {
+	h := sha256.New()
+	writeInt(h, int64(len(refs)))
+	for _, r := range refs {
+		writeInt(h, int64(r.NAtoms()))
+		writeInt(h, int64(r.NFrames()))
+		src, err := r.Open()
+		if err != nil {
+			return "", err
+		}
+		for {
+			f, err := src.NextFrame()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				src.Close()
+				return "", err
+			}
+			writeCoords(h, f.Coords)
+		}
+		if err := src.Close(); err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // coordsDigest hashes a coordinate set.

@@ -176,7 +176,7 @@ func (s Spec) hausdorffMethod() hausdorff.Method {
 func PlannedTasks(spec Spec, in *Input) int {
 	switch spec.Analysis {
 	case AnalysisPSA:
-		blocks, err := psa.Partition(len(in.Ens), spec.groupSize(len(in.Ens)), !spec.FullMatrix)
+		blocks, err := psa.Partition(len(in.Refs), spec.groupSize(len(in.Refs)), !spec.FullMatrix)
 		if err != nil {
 			return 0
 		}
@@ -205,22 +205,24 @@ func PlannedTasks(spec Spec, in *Input) int {
 // psaRunner builds the PSA runner for one engine.
 func psaRunner(engineName string) Runner {
 	return func(rc *RunContext, spec Spec, in *Input) (*Result, error) {
-		ens := in.Ens
+		refs := in.Refs
 		opts := psa.Opts{
-			Symmetric: !spec.FullMatrix,
-			Method:    spec.hausdorffMethod(),
-			Cancel:    rc.Cancelled,
+			Symmetric:         !spec.FullMatrix,
+			Method:            spec.hausdorffMethod(),
+			Cancel:            rc.Cancelled,
+			MaxResidentFrames: spec.MaxResidentFrames,
 		}
-		if opts.Method == hausdorff.Pruned {
+		if opts.Method == hausdorff.Pruned && opts.MaxResidentFrames == 0 {
 			// Build the packed representation (contiguous frames +
 			// per-frame pruning statistics) once up front, O(F·N) per
 			// trajectory, so no timed kernel task pays for it. Runs after
-			// the cache lookup: a cache hit never packs.
-			for _, t := range ens {
+			// the cache lookup: a cache hit never packs. The streamed
+			// kernel packs windows on the fly instead, so it skips this.
+			for _, t := range in.Ens {
 				t.Packed()
 			}
 		}
-		n1 := spec.groupSize(len(ens))
+		n1 := spec.groupSize(len(refs))
 		var (
 			mat *psa.Matrix
 			err error
@@ -230,20 +232,20 @@ func psaRunner(engineName string) Runner {
 		switch engineName {
 		case EngineSerial:
 			opts.Metrics = rc.Metrics()
-			mat, err = runPSASerial(rc, ens, n1, opts)
+			mat, err = runPSASerial(rc, refs, n1, opts)
 		case EngineSpark:
 			ctx := rdd.NewContext(spec.Parallelism)
 			rc.SetMetrics(ctx.Metrics)
 			opts.Metrics = ctx.Metrics
-			mat, err = psa.RunRDD(ctx, ens, n1, opts)
+			mat, err = psa.RunRDDRefs(ctx, refs, n1, opts)
 		case EngineDask:
 			client := dask.NewClient(spec.Parallelism)
 			rc.SetMetrics(client.Metrics)
 			opts.Metrics = client.Metrics
-			mat, err = psa.RunDask(client, ens, n1, opts)
+			mat, err = psa.RunDaskRefs(client, refs, n1, opts)
 		case EngineMPI:
 			opts.Metrics = rc.Metrics()
-			mat, err = psa.RunMPI(spec.ranks(), ens, n1, opts)
+			mat, err = psa.RunMPIRefs(spec.ranks(), refs, n1, opts)
 		case EnginePilot:
 			p, cleanup, perr := startPilot(spec.ranks(), rc.Metrics())
 			if perr != nil {
@@ -251,7 +253,7 @@ func psaRunner(engineName string) Runner {
 			}
 			defer cleanup()
 			opts.Metrics = rc.Metrics()
-			mat, err = psa.RunPilot(p, ens, n1, opts)
+			mat, err = psa.RunPilotRefs(p, refs, n1, opts)
 		default:
 			return nil, fmt.Errorf("jobs: unknown engine %q", engineName)
 		}
@@ -268,8 +270,8 @@ func psaRunner(engineName string) Runner {
 // runPSASerial runs the block schedule sequentially on one goroutine,
 // recording one engine task per block so progress reporting and the
 // metrics surface match the parallel engines.
-func runPSASerial(rc *RunContext, ens traj.Ensemble, n1 int, opts psa.Opts) (*psa.Matrix, error) {
-	blocks, err := psa.Partition(len(ens), n1, opts.Symmetric)
+func runPSASerial(rc *RunContext, refs traj.RefEnsemble, n1 int, opts psa.Opts) (*psa.Matrix, error) {
+	blocks, err := psa.Partition(len(refs), n1, opts.Symmetric)
 	if err != nil {
 		return nil, err
 	}
@@ -280,11 +282,15 @@ func runPSASerial(rc *RunContext, ens traj.Ensemble, n1 int, opts psa.Opts) (*ps
 			return nil, ErrCancelled
 		}
 		start := time.Now()
-		results = append(results, psa.ComputeBlock(ens, b, opts))
+		br, err := psa.ComputeBlockRefs(refs, b, opts)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, br)
 		m.RecordTask(time.Since(start))
 	}
 	m.RecordStage()
-	return psa.Assemble(len(ens), results), nil
+	return psa.Assemble(len(refs), results), nil
 }
 
 // leafletRunner builds the Leaflet Finder runner for one engine.

@@ -36,6 +36,11 @@ type MetricsSnapshot struct {
 	PairsEvaluated int64 `json:"pairs_evaluated"`
 	PairsPruned    int64 `json:"pairs_pruned"`
 	PairsAbandoned int64 `json:"pairs_abandoned"`
+	// Streamed-path accounting: the largest frame residency any task
+	// reached (≤ 2 × max_resident_frames in streamed runs) and the
+	// coordinate bytes decoded from trajectory sources.
+	PeakResidentFrames int64 `json:"peak_resident_frames"`
+	BytesStreamed      int64 `json:"bytes_streamed"`
 }
 
 // SnapshotOf copies the current totals of a metrics sink (nil-safe).
@@ -57,5 +62,8 @@ func SnapshotOf(m *engine.Metrics) MetricsSnapshot {
 		PairsEvaluated: s.PairsEvaluated,
 		PairsPruned:    s.PairsPruned,
 		PairsAbandoned: s.PairsAbandoned,
+
+		PeakResidentFrames: s.PeakResidentFrames,
+		BytesStreamed:      s.BytesStreamed,
 	}
 }

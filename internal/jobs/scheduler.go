@@ -232,9 +232,13 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	digest, err := in.ContentDigest()
+	if err != nil {
+		return nil, err
+	}
 	job := &Job{
 		spec:       norm,
-		key:        CacheKey(norm, in.ContentDigest()),
+		key:        CacheKey(norm, digest),
 		totalTasks: PlannedTasks(norm, in),
 		rc:         NewRunContext(),
 		state:      StateQueued,

@@ -84,6 +84,17 @@ type Spec struct {
 	// FullMatrix disables PSA's symmetry-aware schedule (paper-faithful
 	// full N×N grid).
 	FullMatrix bool `json:"full_matrix,omitempty"`
+	// MaxResidentFrames, when positive, streams PSA trajectories as
+	// bounded frame windows instead of materializing them: with an
+	// on-disk Path no engine task ever holds more than two windows of
+	// frames, and even synthetic inputs run the windowed kernel. The
+	// matrix is bit-identical to the in-memory run. Two caveats: the
+	// pilot engine's staging client still materializes the window blobs
+	// it stages (the in-process simulation of filesystem staging —
+	// pilot unit processes are windowed, the submitting client is not),
+	// and the server's content-addressed cache digests a streamed input
+	// by scanning it once per submission.
+	MaxResidentFrames int `json:"max_resident_frames,omitempty"`
 
 	// Approach is the Leaflet Finder architecture: "broadcast"|"1",
 	// "task2d"|"2", "parallel-cc"|"3" or "tree"|"4" (default "tree";
@@ -167,6 +178,10 @@ func (s Spec) Normalized() (Spec, error) {
 		return Spec{}, fmt.Errorf("jobs: exactly one of path and synth must be set")
 	}
 
+	if s.MaxResidentFrames < 0 {
+		s.MaxResidentFrames = 0
+	}
+
 	switch s.Analysis {
 	case AnalysisPSA:
 		m, err := ParseMethod(s.Method)
@@ -197,7 +212,7 @@ func (s Spec) Normalized() (Spec, error) {
 		if s.Cutoff == 0 {
 			s.Cutoff = synth.BilayerCutoff
 		}
-		s.Method, s.FullMatrix = "", false
+		s.Method, s.FullMatrix, s.MaxResidentFrames = "", false, 0
 		if s.Tasks == 0 {
 			s.Tasks = 1024
 		}
@@ -265,9 +280,11 @@ func RunnerName(analysis, engine string) string { return analysis + "/" + engine
 // CacheKey content-addresses a normalized spec plus the digest of its
 // resolved input data. Result-invariant parameters are normalized out:
 // the PSA kernel method (naive, early-break and pruned are all exact —
-// they produce bit-identical matrices) and the FullMatrix schedule
-// toggle (the symmetric schedule mirrors the identical values), so a
-// resubmission differing only in those hits the existing entry. Fields
+// they produce bit-identical matrices), the FullMatrix schedule
+// toggle (the symmetric schedule mirrors the identical values), and
+// MaxResidentFrames (the streamed kernel is bit-identical to the
+// in-memory one), so a resubmission differing only in those hits the
+// existing entry. Fields
 // that change where or how much engine work runs (engine, sizing) stay
 // in the key, so resubmitting on a different engine re-runs.
 func CacheKey(s Spec, inputDigest string) string {

@@ -157,7 +157,7 @@ func TestResolveInputDigestStability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.ContentDigest() != b.ContentDigest() {
+	if digestOf(t, a) != digestOf(t, b) {
 		t.Error("regenerated synth input digests differ")
 	}
 	spec.Synth.Seed++
@@ -165,9 +165,18 @@ func TestResolveInputDigestStability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.ContentDigest() == a.ContentDigest() {
+	if digestOf(t, c) == digestOf(t, a) {
 		t.Error("digest ignores the generated content")
 	}
+}
+
+func digestOf(t *testing.T, in *Input) string {
+	t.Helper()
+	d, err := in.ContentDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
 }
 
 func TestRunnerNameAndRegistry(t *testing.T) {

@@ -1,0 +1,84 @@
+package jobs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Cancelling a streamed PSA job mid-window must drain cleanly: the job
+// ends cancelled (or, if the race is lost, done) and every goroutine
+// the engine spawned — pool workers, loopback fleet servers, worker
+// agents — is gone afterwards. Run under -race in the dedicated CI
+// step; the goroutine-count check catches leaks either way.
+func TestStreamedCancelLeaksNoGoroutines(t *testing.T) {
+	for _, engine := range []string{EngineDask, EngineFleet} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			baseline := stableGoroutines(t)
+			s := NewScheduler(DefaultRegistry(), Options{Workers: 1})
+			spec := Spec{
+				Analysis:          AnalysisPSA,
+				Engine:            engine,
+				Parallelism:       2,
+				Method:            "naive",
+				MaxResidentFrames: 8,
+				// Large enough that cancellation lands mid-run: the
+				// streamed naive kernel scans 2·F² directed pairs per
+				// trajectory pair, re-decoding windows as it goes.
+				Synth: &SynthSpec{Count: 4, Atoms: 16, Frames: 128, Seed: 99},
+			}
+			job, err := s.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				st := job.Status()
+				if st.State == StateRunning || st.State.Terminal() {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("job stuck in %s", st.State)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			s.Cancel(job.ID())
+			st := waitTerminal(t, job)
+			if st.State != StateCancelled && st.State != StateDone {
+				t.Fatalf("job finished %s", st.State)
+			}
+			s.Close()
+
+			// The scheduler worker, engine pools and any loopback fleet
+			// must all be gone; allow a short settle for network teardown.
+			settleDeadline := time.Now().Add(10 * time.Second)
+			for {
+				if n := runtime.NumGoroutine(); n <= baseline+1 {
+					return
+				}
+				if time.Now().After(settleDeadline) {
+					buf := make([]byte, 1<<16)
+					n := runtime.Stack(buf, true)
+					t.Fatalf("goroutines leaked after streamed cancel: baseline %d, now %d\n%s",
+						baseline, runtime.NumGoroutine(), buf[:n])
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// stableGoroutines samples the goroutine count after a settle pause so
+// leftovers from earlier tests don't inflate the baseline.
+func stableGoroutines(t *testing.T) int {
+	t.Helper()
+	n := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		time.Sleep(2 * time.Millisecond)
+		if m := runtime.NumGoroutine(); m < n {
+			n = m
+		}
+	}
+	return n
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mdtask/internal/dask"
+	"mdtask/internal/engine"
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/mpi"
 	"mdtask/internal/pilot"
@@ -21,25 +22,36 @@ import (
 // PySpark implementation does (§4.2: "an RDD with one partition per
 // task; tasks executed in a map function").
 func RunRDD(ctx *rdd.Context, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
-	blocks, err := Partition(len(ens), n1, opts.Symmetric)
+	return RunRDDRefs(ctx, traj.RefsOf(ens), n1, opts)
+}
+
+// RunRDDRefs is RunRDD over trajectory handles; stream-backed refs with
+// opts.MaxResidentFrames make every partition's task body out-of-core.
+func RunRDDRefs(ctx *rdd.Context, refs traj.RefEnsemble, n1 int, opts Opts) (*Matrix, error) {
+	blocks, err := Partition(len(refs), n1, opts.Symmetric)
 	if err != nil {
 		return nil, err
 	}
 	r := rdd.Parallelize(ctx, blocks, len(blocks))
 	results, err := rdd.Map(r, func(b Block) (BlockResult, error) {
-		return ComputeBlock(ens, b, opts), nil
+		return ComputeBlockRefs(refs, b, opts)
 	}).Collect()
 	if err != nil {
 		return nil, err
 	}
-	return Assemble(len(ens), results), nil
+	return Assemble(len(refs), results), nil
 }
 
 // RunDask computes PSA on the Dask-like engine: one delayed function per
 // block task, computed by the distributed scheduler (§4.2: "tasks are
 // defined as delayed functions").
 func RunDask(client *dask.Client, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
-	blocks, err := Partition(len(ens), n1, opts.Symmetric)
+	return RunDaskRefs(client, traj.RefsOf(ens), n1, opts)
+}
+
+// RunDaskRefs is RunDask over trajectory handles.
+func RunDaskRefs(client *dask.Client, refs traj.RefEnsemble, n1 int, opts Opts) (*Matrix, error) {
+	blocks, err := Partition(len(refs), n1, opts.Symmetric)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +60,7 @@ func RunDask(client *dask.Client, ens traj.Ensemble, n1 int, opts Opts) (*Matrix
 		b := b
 		nodes[i] = client.Delayed(fmt.Sprintf("psa-block-%d", i),
 			func([]interface{}) (interface{}, error) {
-				return ComputeBlock(ens, b, opts), nil
+				return ComputeBlockRefs(refs, b, opts)
 			})
 	}
 	vals, err := client.Compute(nodes...)
@@ -59,14 +71,19 @@ func RunDask(client *dask.Client, ens traj.Ensemble, n1 int, opts Opts) (*Matrix
 	for i, v := range vals {
 		results[i] = v.(BlockResult)
 	}
-	return Assemble(len(ens), results), nil
+	return Assemble(len(refs), results), nil
 }
 
 // RunMPI computes PSA on the MPI runtime: block tasks are statically
 // partitioned over ranks (one task per process, cycling), results are
 // gathered at rank 0.
 func RunMPI(ranks int, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
-	blocks, err := Partition(len(ens), n1, opts.Symmetric)
+	return RunMPIRefs(ranks, traj.RefsOf(ens), n1, opts)
+}
+
+// RunMPIRefs is RunMPI over trajectory handles.
+func RunMPIRefs(ranks int, refs traj.RefEnsemble, n1 int, opts Opts) (*Matrix, error) {
+	blocks, err := Partition(len(refs), n1, opts.Symmetric)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +92,11 @@ func RunMPI(ranks int, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
 		var local []BlockResult
 		for i := c.Rank(); i < len(blocks); i += c.Size() {
 			start := time.Now()
-			local = append(local, ComputeBlock(ens, blocks[i], opts))
+			br, err := ComputeBlockRefs(refs, blocks[i], opts)
+			if err != nil {
+				return err
+			}
+			local = append(local, br)
 			if opts.Metrics != nil {
 				opts.Metrics.RecordTask(time.Since(start))
 			}
@@ -90,7 +111,7 @@ func RunMPI(ranks int, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
 			for _, g := range gathered {
 				all = append(all, g...)
 			}
-			out = Assemble(len(ens), all)
+			out = Assemble(len(refs), all)
 		}
 		return nil
 	})
@@ -106,7 +127,21 @@ func RunMPI(ranks int, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
 // block of distances to an output file, which the client collects — all
 // data exchange goes through the filesystem (§3.3).
 func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, error) {
-	blocks, err := Partition(len(ens), n1, opts.Symmetric)
+	return RunPilotRefs(p, traj.RefsOf(ens), n1, opts)
+}
+
+// RunPilotRefs is RunPilot over trajectory handles. With
+// opts.MaxResidentFrames set, each trajectory is staged as a sequence
+// of window-sized MDT files instead of one whole-trajectory file
+// (traj.EncodeMDTWindow); the unit then replays the window chain
+// through the streamed kernel, holding at most two windows of frames
+// resident however long the trajectories are. The bound applies to the
+// unit (worker) side only: the staging client holds every blob it
+// stages until the units run, inherent to the in-process pilot's
+// InputFiles staging model — truly out-of-core submission is the fleet
+// engine's window endpoint.
+func RunPilotRefs(p *pilot.Pilot, refs traj.RefEnsemble, n1 int, opts Opts) (*Matrix, error) {
+	blocks, err := Partition(len(refs), n1, opts.Symmetric)
 	if err != nil {
 		return nil, err
 	}
@@ -114,73 +149,84 @@ func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, er
 	// The symmetric schedule drops every lower-triangle mirror block, so
 	// each blob shared by a (bi,bj)/(bj,bi) pair is staged once instead
 	// of twice, and a diagonal block stages its row set only once.
-	blobs := make([][]byte, len(ens))
-	for i, t := range ens {
-		b, err := traj.EncodeMDT(t, 8)
-		if err != nil {
-			return nil, err
+	w := opts.MaxResidentFrames
+	blobs := make(map[int][][]byte, len(refs)) // trajectory → window blobs (1 window when not streaming)
+	blobsOf := func(ix int) ([][]byte, error) {
+		if bs, ok := blobs[ix]; ok {
+			return bs, nil
 		}
-		blobs[i] = b
+		r := refs[ix]
+		var bs [][]byte
+		if opts.streaming() {
+			for win := 0; win < r.NumWindows(w); win++ {
+				blob, err := r.EncodeMDTWindow(win*w, w, 8)
+				if err != nil {
+					return nil, err
+				}
+				bs = append(bs, blob)
+			}
+		} else {
+			blob, err := r.EncodeMDTWindow(0, r.NFrames(), 8)
+			if err != nil {
+				return nil, err
+			}
+			bs = [][]byte{blob}
+		}
+		blobs[ix] = bs
+		return bs, nil
 	}
 	descs := make([]pilot.UnitDescription, len(blocks))
 	for bi, b := range blocks {
 		b := b
 		inputs := make(map[string][]byte)
-		for _, ix := range blockTrajIndices(b) {
-			inputs[trajFile(ix)] = blobs[ix]
+		shapes := make(map[int][2]int) // trajectory → {nAtoms, nFrames}
+		wins := make(map[int]int)      // trajectory → staged window count
+		for _, ix := range b.TrajIndices() {
+			bs, err := blobsOf(ix)
+			if err != nil {
+				return nil, err
+			}
+			for win, blob := range bs {
+				inputs[trajFile(ix, win)] = blob
+			}
+			shapes[ix] = [2]int{refs[ix].NAtoms(), refs[ix].NFrames()}
+			wins[ix] = len(bs)
 		}
 		descs[bi] = pilot.UnitDescription{
 			Name:        fmt.Sprintf("psa-block-%d", bi),
 			InputFiles:  inputs,
 			OutputFiles: []string{"distances.bin", "counters.bin"},
 			Fn: func(sandbox string) error {
-				writeOutputs := func(vals []float64, kc hausdorff.Counters) error {
-					if err := os.WriteFile(filepath.Join(sandbox, "distances.bin"), encodeFloats(vals), 0o644); err != nil {
-						return err
-					}
-					return os.WriteFile(filepath.Join(sandbox, "counters.bin"), encodeCounters(kc), 0o644)
-				}
-				if opts.cancelled() {
-					// Emit a zero-valued block of the expected shape; the
-					// job layer discards the matrix of a cancelled run.
-					return writeOutputs(make([]float64, b.TaskPairs(opts.Symmetric)), hausdorff.Counters{})
-				}
-				// Read each staged trajectory once per unit, not once
-				// per pair. The packed representation is likewise built
-				// once per trajectory per unit (traj.Trajectory.Packed
-				// caches it on the loaded trajectory).
-				cache := make(map[int]*traj.Trajectory)
-				load := func(ix int) (*traj.Trajectory, error) {
-					if t, ok := cache[ix]; ok {
-						return t, nil
-					}
-					t, err := traj.ReadMDTFile(filepath.Join(sandbox, trajFile(ix)))
-					if err != nil {
-						return nil, err
-					}
-					cache[ix] = t
-					return t, nil
-				}
-				vals := make([]float64, 0, b.TaskPairs(opts.Symmetric))
-				var kc hausdorff.Counters
-				for i := b.I0; i < b.I1; i++ {
-					ti, err := load(i)
+				// Rebuild each staged trajectory as a stream over its
+				// window files: at most one window's frames are decoded at
+				// a time, and the streamed kernel never holds more than
+				// two windows.
+				unitRefs := make(traj.RefEnsemble, len(refs))
+				for ix, shape := range shapes {
+					ix := ix
+					r, err := traj.WindowChainRef(fmt.Sprintf("traj-%d", ix), shape[0], shape[1], wins[ix],
+						func(win int) ([]byte, error) {
+							return os.ReadFile(filepath.Join(sandbox, trajFile(ix, win)))
+						})
 					if err != nil {
 						return err
 					}
-					j0 := b.J0
-					if opts.Symmetric && b.Diagonal() {
-						j0 = i + 1
-					}
-					for j := j0; j < b.J1; j++ {
-						tj, err := load(j)
-						if err != nil {
-							return err
-						}
-						vals = append(vals, hausdorff.DistanceCounted(ti, tj, opts.Method, &kc))
-					}
+					unitRefs[ix] = r
 				}
-				return writeOutputs(vals, kc)
+				var m engine.Metrics
+				unitOpts := opts
+				unitOpts.Metrics = &m
+				br, err := ComputeBlockRefs(unitRefs, b, unitOpts)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(filepath.Join(sandbox, "distances.bin"), encodeFloats(br.Values), 0o644); err != nil {
+					return err
+				}
+				snap := m.Snapshot()
+				kc := hausdorff.Counters{Evaluated: snap.PairsEvaluated, Pruned: snap.PairsPruned, Abandoned: snap.PairsAbandoned}
+				st := hausdorff.StreamStats{PeakResidentFrames: snap.PeakResidentFrames, BytesStreamed: snap.BytesStreamed}
+				return os.WriteFile(filepath.Join(sandbox, "counters.bin"), encodeCounters(kc, st), 0o644)
 			},
 		}
 	}
@@ -208,33 +254,20 @@ func RunPilot(p *pilot.Pilot, ens traj.Ensemble, n1 int, opts Opts) (*Matrix, er
 		if !ok {
 			return nil, fmt.Errorf("psa: unit %d produced no kernel counters", u.ID)
 		}
-		kc, err := decodeCounters(rawKC)
+		kc, st, err := decodeCounters(rawKC)
 		if err != nil {
 			return nil, fmt.Errorf("psa: unit %d: %w", u.ID, err)
 		}
 		opts.recordKernel(kc)
+		opts.recordStream(st)
 		results[i] = BlockResult{Block: blocks[i], Values: vals, Symmetric: opts.Symmetric}
 	}
-	return Assemble(len(ens), results), nil
+	return Assemble(len(refs), results), nil
 }
 
-// trajFile names a staged trajectory blob inside a unit sandbox.
-func trajFile(ix int) string { return fmt.Sprintf("traj-%04d.mdt", ix) }
-
-// blockTrajIndices lists the distinct trajectory indices a block reads:
-// its row range plus whatever of its column range does not overlap it.
-func blockTrajIndices(b Block) []int {
-	out := make([]int, 0, (b.I1-b.I0)+(b.J1-b.J0))
-	for i := b.I0; i < b.I1; i++ {
-		out = append(out, i)
-	}
-	for j := b.J0; j < b.J1; j++ {
-		if j < b.I0 || j >= b.I1 {
-			out = append(out, j)
-		}
-	}
-	return out
-}
+// trajFile names a staged trajectory window blob inside a unit sandbox
+// (window 0 is the whole trajectory when not streaming).
+func trajFile(ix, win int) string { return fmt.Sprintf("traj-%04d-w%05d.mdt", ix, win) }
 
 // encodeFloats packs float64 values little-endian.
 func encodeFloats(vals []float64) []byte {
@@ -245,25 +278,34 @@ func encodeFloats(vals []float64) []byte {
 	return out
 }
 
-// encodeCounters packs kernel counters as three little-endian uint64s.
-func encodeCounters(c hausdorff.Counters) []byte {
-	out := make([]byte, 0, 24)
-	out = binary.LittleEndian.AppendUint64(out, uint64(c.Evaluated))
-	out = binary.LittleEndian.AppendUint64(out, uint64(c.Pruned))
-	out = binary.LittleEndian.AppendUint64(out, uint64(c.Abandoned))
+// encodeCounters packs a unit's kernel and streaming accounting as five
+// little-endian uint64s: evaluated, pruned, abandoned, peak resident
+// frames, bytes streamed.
+func encodeCounters(kc hausdorff.Counters, st hausdorff.StreamStats) []byte {
+	out := make([]byte, 0, 40)
+	out = binary.LittleEndian.AppendUint64(out, uint64(kc.Evaluated))
+	out = binary.LittleEndian.AppendUint64(out, uint64(kc.Pruned))
+	out = binary.LittleEndian.AppendUint64(out, uint64(kc.Abandoned))
+	out = binary.LittleEndian.AppendUint64(out, uint64(st.PeakResidentFrames))
+	out = binary.LittleEndian.AppendUint64(out, uint64(st.BytesStreamed))
 	return out
 }
 
 // decodeCounters unpacks the counters payload of a pilot unit.
-func decodeCounters(b []byte) (hausdorff.Counters, error) {
-	if len(b) != 24 {
-		return hausdorff.Counters{}, fmt.Errorf("psa: counters payload length %d, want 24", len(b))
+func decodeCounters(b []byte) (hausdorff.Counters, hausdorff.StreamStats, error) {
+	if len(b) != 40 {
+		return hausdorff.Counters{}, hausdorff.StreamStats{}, fmt.Errorf("psa: counters payload length %d, want 40", len(b))
 	}
-	return hausdorff.Counters{
+	kc := hausdorff.Counters{
 		Evaluated: int64(binary.LittleEndian.Uint64(b)),
 		Pruned:    int64(binary.LittleEndian.Uint64(b[8:])),
 		Abandoned: int64(binary.LittleEndian.Uint64(b[16:])),
-	}, nil
+	}
+	st := hausdorff.StreamStats{
+		PeakResidentFrames: int64(binary.LittleEndian.Uint64(b[24:])),
+		BytesStreamed:      int64(binary.LittleEndian.Uint64(b[32:])),
+	}
+	return kc, st, nil
 }
 
 // decodeFloats unpacks little-endian float64 values.

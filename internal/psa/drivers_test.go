@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"mdtask/internal/dask"
-	"mdtask/internal/engine"
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/pilot"
 	"mdtask/internal/rdd"
@@ -27,63 +26,13 @@ func testPilot(t *testing.T) *pilot.Pilot {
 	return p
 }
 
-// All engine drivers must produce exactly the serial reference matrix
-// under both the full-matrix and the symmetry-aware schedule. Pilot
-// round-trips coordinates through MDT files at float64 precision, so
-// even its results are exact.
-func TestDriversMatchSerial(t *testing.T) {
-	ens := testEnsemble(6, 7, 5)
-	want, err := Serial(ens, Opts{Method: hausdorff.Naive})
-	if err != nil {
-		t.Fatal(err)
-	}
-	const n1 = 2
-	for _, sym := range []bool{false, true} {
-		opts := Opts{Symmetric: sym, Method: hausdorff.Naive}
-		name := func(engine string) string {
-			if sym {
-				return engine + "/symmetric"
-			}
-			return engine + "/full"
-		}
-		t.Run(name("rdd"), func(t *testing.T) {
-			got, err := RunRDD(rdd.NewContext(4), ens, n1, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !matricesEqual(got, want, 0) {
-				t.Fatal("rdd matrix != serial")
-			}
-		})
-		t.Run(name("dask"), func(t *testing.T) {
-			got, err := RunDask(dask.NewClient(4), ens, n1, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !matricesEqual(got, want, 0) {
-				t.Fatal("dask matrix != serial")
-			}
-		})
-		t.Run(name("mpi"), func(t *testing.T) {
-			got, err := RunMPI(4, ens, n1, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !matricesEqual(got, want, 0) {
-				t.Fatal("mpi matrix != serial")
-			}
-		})
-		t.Run(name("pilot"), func(t *testing.T) {
-			got, err := RunPilot(testPilot(t), ens, n1, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !matricesEqual(got, want, 0) {
-				t.Fatal("pilot matrix != serial")
-			}
-		})
-	}
-}
+// The cross-engine value contract — every engine × method × schedule ×
+// residency mode bit-identical to the serial reference — is locked down
+// by internal/engine/conformtest, which runs through the jobs registry
+// (the dispatch surface the CLIs and the server use) and so covers the
+// drivers here plus serial and fleet. The tests below keep the
+// driver-local invariants: staging economics, input validation, and the
+// pilot wire codecs.
 
 // The symmetric pilot schedule must not stage blobs for mirror blocks:
 // total staged inputs drop from N²/n1 (every block stages its rows and
@@ -97,7 +46,7 @@ func TestPilotSymmetricStagesFewerBlobs(t *testing.T) {
 		}
 		total := 0
 		for _, b := range blocks {
-			total += len(blockTrajIndices(b))
+			total += len(b.TrajIndices())
 		}
 		return total
 	}
@@ -109,67 +58,6 @@ func TestPilotSymmetricStagesFewerBlobs(t *testing.T) {
 	// symmetric = 6 blocks, diagonal ones staging their rows once.
 	if want := 3*2 + 3*4; sym != want {
 		t.Fatalf("symmetric schedule stages %d blobs, want %d", sym, want)
-	}
-}
-
-func TestDriversEarlyBreakMethod(t *testing.T) {
-	ens := testEnsemble(4, 6, 4)
-	want, _ := Serial(ens, Opts{Method: hausdorff.Naive}) // early-break is exact
-	for _, sym := range []bool{false, true} {
-		got, err := RunRDD(rdd.NewContext(2), ens, 2, Opts{Symmetric: sym, Method: hausdorff.EarlyBreak})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !matricesEqual(got, want, 0) {
-			t.Fatalf("early-break result differs (sym=%v)", sym)
-		}
-	}
-}
-
-// The pruned kernel must be exact on every engine — serial, rdd, dask,
-// mpi and pilot — under both schedules, and every engine must deliver
-// self-consistent frame-pair counters through opts.Metrics (pilot ships
-// them back through its staged counters.bin files).
-func TestDriversPrunedMethod(t *testing.T) {
-	const n, atoms, frames, n1 = 6, 7, 5, 2
-	ens := testEnsemble(n, atoms, frames)
-	want, err := Serial(ens, Opts{Method: hausdorff.Naive})
-	if err != nil {
-		t.Fatal(err)
-	}
-	runners := map[string]func(Opts) (*Matrix, error){
-		"serial": func(o Opts) (*Matrix, error) { return Serial(ens, o) },
-		"rdd":    func(o Opts) (*Matrix, error) { return RunRDD(rdd.NewContext(4), ens, n1, o) },
-		"dask":   func(o Opts) (*Matrix, error) { return RunDask(dask.NewClient(4), ens, n1, o) },
-		"mpi":    func(o Opts) (*Matrix, error) { return RunMPI(4, ens, n1, o) },
-		"pilot":  func(o Opts) (*Matrix, error) { return RunPilot(testPilot(t), ens, n1, o) },
-	}
-	for _, sym := range []bool{false, true} {
-		// Every trajectory-pair comparison accounts 2·frames² frame
-		// pairs; the diagonal is only scheduled under the full grid.
-		wantPairs := int64(n*n) * 2 * frames * frames
-		if sym {
-			wantPairs = int64(n*(n-1)/2) * 2 * frames * frames
-		}
-		for name, run := range runners {
-			sink := &engine.Metrics{}
-			got, err := run(Opts{Symmetric: sym, Method: hausdorff.Pruned, Metrics: sink})
-			if err != nil {
-				t.Fatalf("%s (sym=%v): %v", name, sym, err)
-			}
-			if !matricesEqual(got, want, 0) {
-				t.Errorf("%s (sym=%v): pruned matrix != naive serial", name, sym)
-			}
-			s := sink.Snapshot()
-			if total := s.PairsEvaluated + s.PairsPruned + s.PairsAbandoned; total != wantPairs {
-				t.Errorf("%s (sym=%v): counters evaluated=%d pruned=%d abandoned=%d sum to %d, want %d",
-					name, sym, s.PairsEvaluated, s.PairsPruned, s.PairsAbandoned, total, wantPairs)
-			}
-			if s.PairsEvaluated <= 0 || s.PairsPruned <= 0 {
-				t.Errorf("%s (sym=%v): no pruning recorded: evaluated=%d pruned=%d abandoned=%d",
-					name, sym, s.PairsEvaluated, s.PairsPruned, s.PairsAbandoned)
-			}
-		}
 	}
 }
 

@@ -53,6 +53,29 @@ type Opts struct {
 	// metrics-bearing context (RunMPI; the rdd/dask/pilot runners account
 	// tasks through their Context/Client/Pilot).
 	Metrics *engine.Metrics
+	// MaxResidentFrames, when positive, switches every task body to the
+	// streamed window kernel: trajectories are consumed as bounded frame
+	// windows (at most MaxResidentFrames frames per window, two windows
+	// resident per comparison) instead of being fully materialized, so a
+	// task's peak frame residency is ≤ 2 × MaxResidentFrames whatever
+	// the ensemble size. Results are bit-identical to the in-memory path
+	// for every method and schedule; the price is re-decoding the inner
+	// trajectory of each comparison once per outer window, which the
+	// BytesStreamed metric accounts. Zero keeps the fully-resident path.
+	MaxResidentFrames int
+}
+
+// streaming reports whether the windowed out-of-core kernel is
+// selected.
+func (o Opts) streaming() bool { return o.MaxResidentFrames > 0 }
+
+// recordStream folds a task's streaming accounting into the metrics
+// sink.
+func (o Opts) recordStream(st hausdorff.StreamStats) {
+	if o.Metrics != nil {
+		o.Metrics.ObservePeakResident(st.PeakResidentFrames)
+		o.Metrics.AddStreamed(st.BytesStreamed)
+	}
 }
 
 // recordKernel folds a block's kernel counters into the metrics sink.
@@ -78,6 +101,22 @@ func (b Block) Pairs() int { return (b.I1 - b.I0) * (b.J1 - b.J0) }
 // Diagonal reports whether the block lies on the matrix diagonal
 // (identical row and column ranges).
 func (b Block) Diagonal() bool { return b.I0 == b.J0 && b.I1 == b.J1 }
+
+// TrajIndices lists the distinct trajectory indices the block reads:
+// its row range plus whatever of its column range does not overlap it.
+// Pilot staging and fleet leases both derive their input sets from it.
+func (b Block) TrajIndices() []int {
+	out := make([]int, 0, (b.I1-b.I0)+(b.J1-b.J0))
+	for i := b.I0; i < b.I1; i++ {
+		out = append(out, i)
+	}
+	for j := b.J0; j < b.J1; j++ {
+		if j < b.I0 || j >= b.I1 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
 
 // TaskPairs returns the number of Hausdorff evaluations a block costs
 // under the given scheduling: symmetric diagonal blocks compute only
@@ -157,19 +196,54 @@ type BlockResult struct {
 // ComputeBlock evaluates the Hausdorff distances of one block serially
 // (the task body shared by all engine drivers). Under opts.Symmetric a
 // diagonal block computes only its strict upper triangle — the zero
-// self-distances and the mirror pairs are skipped.
+// self-distances and the mirror pairs are skipped. With
+// opts.MaxResidentFrames set the block runs the windowed kernel over
+// the in-memory frames (bounding the packed working set); fully
+// out-of-core callers hand ComputeBlockRefs stream-backed refs instead.
 func ComputeBlock(ens traj.Ensemble, b Block, opts Opts) BlockResult {
-	if opts.cancelled() {
-		// Leave the block zero-valued so downstream shape checks hold;
-		// the job layer discards the matrix of a cancelled run.
-		return BlockResult{
-			Block:     b,
-			Values:    make([]float64, b.TaskPairs(opts.Symmetric)),
-			Symmetric: opts.Symmetric,
-		}
+	r, err := ComputeBlockRefs(traj.RefsOf(ens), b, opts)
+	if err != nil {
+		// Memory-backed refs cannot fail to stream.
+		panic(err)
 	}
+	return r
+}
+
+// ComputeBlockRefs is ComputeBlock over trajectory handles: the task
+// body of the streaming PSA path. With opts.MaxResidentFrames > 0 each
+// comparison holds at most two windows resident (DistanceStreamed);
+// otherwise the block's trajectories are materialized once each and the
+// in-memory kernels run. Cancellation is polled between comparisons;
+// the remaining values of a cancelled block are left zero, matching
+// ComputeBlock's contract.
+func ComputeBlockRefs(refs traj.RefEnsemble, b Block, opts Opts) (BlockResult, error) {
 	vals := make([]float64, 0, b.TaskPairs(opts.Symmetric))
-	var kc hausdorff.Counters
+	res := BlockResult{Block: b, Symmetric: opts.Symmetric}
+	var (
+		kc hausdorff.Counters
+		st hausdorff.StreamStats
+	)
+	defer func() {
+		opts.recordKernel(kc)
+		opts.recordStream(st)
+	}()
+
+	var loaded map[int]*traj.Trajectory
+	load := func(ix int) (*traj.Trajectory, error) {
+		if t, ok := loaded[ix]; ok {
+			return t, nil
+		}
+		t, err := refs[ix].Load()
+		if err != nil {
+			return nil, err
+		}
+		if loaded == nil {
+			loaded = make(map[int]*traj.Trajectory)
+		}
+		loaded[ix] = t
+		return t, nil
+	}
+
 	skipMirror := opts.Symmetric && b.Diagonal()
 	for i := b.I0; i < b.I1; i++ {
 		j0 := b.J0
@@ -177,11 +251,35 @@ func ComputeBlock(ens traj.Ensemble, b Block, opts Opts) BlockResult {
 			j0 = i + 1
 		}
 		for j := j0; j < b.J1; j++ {
-			vals = append(vals, hausdorff.DistanceCounted(ens[i], ens[j], opts.Method, &kc))
+			if opts.cancelled() {
+				// Zero-fill the rest so downstream shape checks hold; the
+				// job layer discards the matrix of a cancelled run.
+				res.Values = append(vals, make([]float64, b.TaskPairs(opts.Symmetric)-len(vals))...)
+				return res, nil
+			}
+			var d float64
+			if opts.streaming() {
+				var err error
+				d, err = hausdorff.DistanceStreamed(refs[i], refs[j], opts.MaxResidentFrames, opts.Method, &kc, &st)
+				if err != nil {
+					return BlockResult{}, err
+				}
+			} else {
+				ti, err := load(i)
+				if err != nil {
+					return BlockResult{}, err
+				}
+				tj, err := load(j)
+				if err != nil {
+					return BlockResult{}, err
+				}
+				d = hausdorff.DistanceCounted(ti, tj, opts.Method, &kc)
+			}
+			vals = append(vals, d)
 		}
 	}
-	opts.recordKernel(kc)
-	return BlockResult{Block: b, Values: vals, Symmetric: opts.Symmetric}
+	res.Values = vals
+	return res, nil
 }
 
 // Assemble writes block results into the full matrix, mirroring
@@ -228,28 +326,69 @@ func Serial(ens traj.Ensemble, opts Opts) (*Matrix, error) {
 	if err := ens.Validate(); err != nil {
 		return nil, err
 	}
-	out := NewMatrix(len(ens))
-	var kc hausdorff.Counters
-	defer func() { opts.recordKernel(kc) }()
+	return SerialRefs(traj.RefsOf(ens), opts)
+}
+
+// SerialRefs is Serial over trajectory handles: with
+// opts.MaxResidentFrames set it is the single-goroutine out-of-core
+// reference (two windows resident per comparison), otherwise handles
+// are materialized and the in-memory kernels run.
+func SerialRefs(refs traj.RefEnsemble, opts Opts) (*Matrix, error) {
+	if err := refs.Validate(); err != nil {
+		return nil, err
+	}
+	out := NewMatrix(len(refs))
+	var (
+		kc hausdorff.Counters
+		st hausdorff.StreamStats
+	)
+	defer func() {
+		opts.recordKernel(kc)
+		opts.recordStream(st)
+	}()
+	var ens traj.Ensemble
+	if !opts.streaming() {
+		loaded, err := refs.Load()
+		if err != nil {
+			return nil, err
+		}
+		if err := loaded.Validate(); err != nil {
+			return nil, err
+		}
+		ens = loaded
+	}
+	dist := func(i, j int) (float64, error) {
+		if opts.streaming() {
+			return hausdorff.DistanceStreamed(refs[i], refs[j], opts.MaxResidentFrames, opts.Method, &kc, &st)
+		}
+		return hausdorff.DistanceCounted(ens[i], ens[j], opts.Method, &kc), nil
+	}
 	if opts.Symmetric {
-		for i := range ens {
+		for i := range refs {
 			if opts.cancelled() {
 				return out, nil
 			}
-			for j := i + 1; j < len(ens); j++ {
-				d := hausdorff.DistanceCounted(ens[i], ens[j], opts.Method, &kc)
+			for j := i + 1; j < len(refs); j++ {
+				d, err := dist(i, j)
+				if err != nil {
+					return nil, err
+				}
 				out.Set(i, j, d)
 				out.Set(j, i, d)
 			}
 		}
 		return out, nil
 	}
-	for i := range ens {
+	for i := range refs {
 		if opts.cancelled() {
 			return out, nil
 		}
-		for j := range ens {
-			out.Set(i, j, hausdorff.DistanceCounted(ens[i], ens[j], opts.Method, &kc))
+		for j := range refs {
+			d, err := dist(i, j)
+			if err != nil {
+				return nil, err
+			}
+			out.Set(i, j, d)
 		}
 	}
 	return out, nil

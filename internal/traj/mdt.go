@@ -127,6 +127,13 @@ type MDTReader struct {
 	nAtoms  int
 	nFrames int
 	read    int
+	// headerLen is the byte length of everything before the first
+	// frame (magic + fixed fields + name).
+	headerLen int
+	// skipCRC disables trailing-checksum verification after a seek has
+	// bypassed part of the payload (the accumulator no longer covers
+	// the whole stream).
+	skipCRC bool
 	buf     []byte
 }
 
@@ -159,6 +166,7 @@ func NewMDTReader(r io.Reader) (*MDTReader, error) {
 	mr.name = string(rest[:nameLen])
 	mr.nAtoms = int(binary.LittleEndian.Uint32(rest[nameLen:]))
 	mr.nFrames = int(binary.LittleEndian.Uint32(rest[nameLen+4:]))
+	mr.headerLen = 4 + 3 + int(nameLen) + 8
 	return mr, nil
 }
 
@@ -171,6 +179,14 @@ func (mr *MDTReader) NAtoms() int { return mr.nAtoms }
 // NFrames returns the number of frames in the file.
 func (mr *MDTReader) NFrames() int { return mr.nFrames }
 
+// mdtChunk bounds how many payload bytes are buffered at a time while
+// decoding or skipping a frame. Header fields are attacker-controlled:
+// a claimed frame of 2³² atoms must not allocate its whole payload up
+// front — chunked reads make a truncated hostile file fail after the
+// bytes actually present, with memory bounded by the chunk size plus
+// the coordinates genuinely decoded.
+const mdtChunk = 1 << 16
+
 // ReadFrame reads the next frame. After the final frame it verifies the
 // trailing checksum and returns io.EOF on the following call.
 func (mr *MDTReader) ReadFrame() (Frame, error) {
@@ -179,38 +195,83 @@ func (mr *MDTReader) ReadFrame() (Frame, error) {
 		if _, err := io.ReadFull(mr.r, tail[:]); err != nil {
 			return Frame{}, fmt.Errorf("%w: missing checksum: %v", ErrTruncated, err)
 		}
-		if binary.LittleEndian.Uint32(tail[:]) != mr.crc {
+		if !mr.skipCRC && binary.LittleEndian.Uint32(tail[:]) != mr.crc {
 			return Frame{}, ErrChecksum
 		}
 		return Frame{}, io.EOF
 	}
-	need := 8 + mr.nAtoms*3*mr.prec
-	if cap(mr.buf) < need {
-		mr.buf = make([]byte, need)
-	}
-	b := mr.buf[:need]
-	if _, err := io.ReadFull(mr.r, b); err != nil {
+	var timeBuf [8]byte
+	if _, err := io.ReadFull(mr.r, timeBuf[:]); err != nil {
 		return Frame{}, fmt.Errorf("%w: frame %d: %v", ErrTruncated, mr.read, err)
 	}
-	mr.crc = crc32.Update(mr.crc, crc32.IEEETable, b)
+	mr.crc = crc32.Update(mr.crc, crc32.IEEETable, timeBuf[:])
 	f := Frame{
-		Time:   math.Float64frombits(binary.LittleEndian.Uint64(b)),
-		Coords: make([]linalg.Vec3, mr.nAtoms),
+		Time:   math.Float64frombits(binary.LittleEndian.Uint64(timeBuf[:])),
+		Coords: make([]linalg.Vec3, 0, min(mr.nAtoms, mdtChunk/24)),
 	}
-	off := 8
-	for i := 0; i < mr.nAtoms; i++ {
-		for k := 0; k < 3; k++ {
+	// Decode the coordinate payload in bounded chunks, each a whole
+	// number of components.
+	compSize := mr.prec
+	perChunk := (mdtChunk / compSize) * compSize
+	if cap(mr.buf) < perChunk {
+		mr.buf = make([]byte, perChunk)
+	}
+	remaining := mr.nAtoms * 3 * compSize
+	var comp [3]float64
+	ci := 0
+	for remaining > 0 {
+		n := remaining
+		if n > perChunk {
+			n = perChunk
+		}
+		b := mr.buf[:n]
+		if _, err := io.ReadFull(mr.r, b); err != nil {
+			return Frame{}, fmt.Errorf("%w: frame %d: %v", ErrTruncated, mr.read, err)
+		}
+		mr.crc = crc32.Update(mr.crc, crc32.IEEETable, b)
+		for off := 0; off < n; off += compSize {
 			if mr.prec == 4 {
-				f.Coords[i][k] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[off:])))
-				off += 4
+				comp[ci] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[off:])))
 			} else {
-				f.Coords[i][k] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
-				off += 8
+				comp[ci] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+			}
+			ci++
+			if ci == 3 {
+				f.Coords = append(f.Coords, linalg.Vec3{comp[0], comp[1], comp[2]})
+				ci = 0
 			}
 		}
+		remaining -= n
 	}
 	mr.read++
 	return f, nil
+}
+
+// SkipFrames reads and discards the next n frames (bounded memory, CRC
+// still folded in so a subsequent full read to EOF verifies). It stops
+// early without error if fewer than n frames remain.
+func (mr *MDTReader) SkipFrames(n int) error {
+	frameBytes := 8 + mr.nAtoms*3*mr.prec
+	if cap(mr.buf) < mdtChunk {
+		mr.buf = make([]byte, mdtChunk)
+	}
+	for ; n > 0 && mr.read < mr.nFrames; n-- {
+		remaining := frameBytes
+		for remaining > 0 {
+			c := remaining
+			if c > mdtChunk {
+				c = mdtChunk
+			}
+			b := mr.buf[:c]
+			if _, err := io.ReadFull(mr.r, b); err != nil {
+				return fmt.Errorf("%w: frame %d: %v", ErrTruncated, mr.read, err)
+			}
+			mr.crc = crc32.Update(mr.crc, crc32.IEEETable, b)
+			remaining -= c
+		}
+		mr.read++
+	}
+	return nil
 }
 
 // ReadAll reads all remaining frames and verifies the checksum.
@@ -274,12 +335,32 @@ func EncodeMDT(t *Trajectory, prec int) ([]byte, error) {
 	return buf.b, nil
 }
 
+// impliedSize returns the exact byte length the header implies for the
+// whole stream, or ok=false when the claimed shape cannot be expressed
+// without int64 overflow (necessarily hostile: it would exceed any
+// real payload by orders of magnitude).
+func (mr *MDTReader) impliedSize() (int64, bool) {
+	frameBytes := 8 + int64(mr.nAtoms)*3*int64(mr.prec) // ≤ 8 + 2³²·24, no overflow
+	fixed := int64(mr.headerLen) + 4
+	if mr.nFrames > 0 && frameBytes > (math.MaxInt64-fixed)/int64(mr.nFrames) {
+		return 0, false
+	}
+	return fixed + int64(mr.nFrames)*frameBytes, true
+}
+
 // DecodeMDT deserializes MDT bytes back into a trajectory, verifying
-// the trailing checksum.
+// the trailing checksum. The payload length the header implies is
+// validated against len(b) up front (with overflow-checked arithmetic),
+// so a hostile header claiming billions of frames or atoms fails before
+// any frame is decoded.
 func DecodeMDT(b []byte) (*Trajectory, error) {
 	mr, err := NewMDTReader(bytes.NewReader(b))
 	if err != nil {
 		return nil, err
+	}
+	want, ok := mr.impliedSize()
+	if !ok || int64(len(b)) != want {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header implies %d", ErrTruncated, len(b), want)
 	}
 	return mr.ReadAll()
 }

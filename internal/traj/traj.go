@@ -18,6 +18,28 @@
 // centroids, radii of gyration, and consecutive-frame dRMS values that
 // the pruned Hausdorff kernel's lower bounds consume, once per
 // trajectory instead of once per trajectory comparison.
+//
+// For inputs larger than memory, the package also provides a streaming
+// layer:
+//
+//   - FrameSource (source.go) decodes any supported format one frame
+//     at a time; OpenSource dispatches on extension (.mdt, .mdt.gz,
+//     .xyzt, .xyzt.gz) and MultiSource chains blob sequences.
+//   - Ref (ref.go) is a windowed handle to one trajectory — identity
+//     and shape plus an Opener — wherever its frames live: memory
+//     (MemRef), a file (FileRef, header-only until read), or any
+//     custom stream (NewStreamRef: staged window files, an HTTP
+//     coordinator endpoint).
+//   - Window / WindowIter (window.go) materialize bounded frame
+//     windows, each with its packed centroid/rg/step-dRMS side data,
+//     so out-of-core consumers (hausdorff.DistanceStreamed) hold at
+//     most two windows per comparison.
+//
+// The decoders treat headers as hostile input: claimed atom or frame
+// counts never size an allocation beyond what the payload actually
+// delivers (fuzzed by FuzzReadXYZT / FuzzDecodeMDT /
+// FuzzWindowRoundTrip), and parse errors carry the file path and
+// 1-based line number where applicable.
 package traj
 
 import (

@@ -1,0 +1,153 @@
+package traj
+
+import (
+	"fmt"
+	"io"
+
+	"mdtask/internal/linalg"
+)
+
+// Window is one bounded chunk of a trajectory materialized for
+// analysis: frames [Start, Start+Packed.NFrames) in packed form,
+// complete with the per-frame centroid / radius-of-gyration / step-dRMS
+// side data the pruned Hausdorff bounds consume. Windows are the unit
+// of residency of the out-of-core PSA path: a streamed trajectory
+// comparison holds at most one window per side.
+type Window struct {
+	// Start is the index of the window's first frame in the trajectory.
+	Start int
+	// Packed holds the window's frames and pruning statistics. Its
+	// StepDRMS chain restarts at each window (entry 0 is 0).
+	Packed *Packed
+}
+
+// NFrames returns the number of frames in the window.
+func (w *Window) NFrames() int { return w.Packed.NFrames }
+
+// CoordBytes returns the window's materialized coordinate payload in
+// bytes — the unit the BytesStreamed metric accounts.
+func (w *Window) CoordBytes() int64 {
+	return int64(w.Packed.NFrames) * int64(w.Packed.NAtoms) * 3 * 8
+}
+
+// WindowIter walks a trajectory as a sequence of bounded windows,
+// opening the underlying source lazily on the first Next. Each
+// re-scan of a trajectory is a fresh WindowIter.
+type WindowIter struct {
+	ref  *Ref
+	size int
+	src  FrameSource
+	pos  int
+	done bool
+}
+
+// Windows returns an iterator over the trajectory in windows of at
+// most size frames (size < 1 means one window spanning the whole
+// trajectory). Close the iterator if it is abandoned before io.EOF.
+func (r *Ref) Windows(size int) *WindowIter {
+	if size < 1 || size > r.nFrames {
+		size = r.nFrames
+	}
+	if size < 1 {
+		size = 1 // zero-frame trajectories still terminate immediately
+	}
+	return &WindowIter{ref: r, size: size}
+}
+
+// Next materializes the next window, returning io.EOF after the last
+// one (at which point the source is closed and the declared frame
+// count has been validated).
+func (it *WindowIter) Next() (*Window, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	if it.src == nil {
+		src, err := it.ref.Open()
+		if err != nil {
+			it.done = true
+			return nil, err
+		}
+		it.src = src
+	}
+	frames := make([][]linalg.Vec3, 0, it.size)
+	start := it.pos
+	for len(frames) < it.size {
+		f, err := it.src.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			it.fail()
+			return nil, err
+		}
+		if len(f.Coords) != it.ref.nAtoms {
+			it.fail()
+			return nil, fmt.Errorf("traj: %s: frame %d: %w (got %d, want %d)",
+				it.ref.name, it.pos+len(frames), ErrShapeMismatch, len(f.Coords), it.ref.nAtoms)
+		}
+		frames = append(frames, f.Coords)
+	}
+	it.pos += len(frames)
+	if len(frames) < it.size || it.pos >= it.ref.nFrames {
+		// The stream ended (or will end at the declared count): verify
+		// the shape promise and finish.
+		if len(frames) == 0 || it.pos >= it.ref.nFrames {
+			if err := it.closeAndCheck(); err != nil {
+				return nil, err
+			}
+		}
+		if len(frames) == 0 {
+			return nil, io.EOF
+		}
+	}
+	return &Window{Start: start, Packed: PackFrames(frames, it.ref.nAtoms)}, nil
+}
+
+// closeAndCheck finishes the iteration, validating the frame count
+// against the ref's declared shape.
+func (it *WindowIter) closeAndCheck() error {
+	if it.done {
+		return nil
+	}
+	// Probe one frame past the declared count so an over-long stream is
+	// caught too.
+	var extra bool
+	if it.pos >= it.ref.nFrames {
+		if _, err := it.src.NextFrame(); err == nil {
+			extra = true
+		}
+	}
+	it.fail() // closes the source; "done" from here on
+	if extra || it.pos != it.ref.nFrames {
+		got := fmt.Sprintf("%d", it.pos)
+		if extra {
+			got = fmt.Sprintf("more than %d", it.pos)
+		}
+		return fmt.Errorf("traj: %s: source yielded %s frames, ref declares %d", it.ref.name, got, it.ref.nFrames)
+	}
+	return nil
+}
+
+// fail closes the source and marks the iterator finished.
+func (it *WindowIter) fail() {
+	if it.src != nil {
+		it.src.Close()
+		it.src = nil
+	}
+	it.done = true
+}
+
+// Close releases the iterator's source; safe to call at any point.
+func (it *WindowIter) Close() { it.fail() }
+
+// NumWindows returns how many windows of the given size the ref spans
+// (0 for an empty trajectory; size < 1 counts one window).
+func (r *Ref) NumWindows(size int) int {
+	if r.nFrames == 0 {
+		return 0
+	}
+	if size < 1 || size >= r.nFrames {
+		return 1
+	}
+	return (r.nFrames + size - 1) / size
+}

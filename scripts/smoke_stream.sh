@@ -1,0 +1,110 @@
+#!/bin/sh
+# smoke_stream.sh — CI smoke for the out-of-core streaming PSA path.
+#
+# Generates an ensemble whose loaded coordinate payload (~50 MiB)
+# exceeds the streamed child's memory budget, runs `psa -max-frames`
+# under GOMEMLIMIT (a soft GC target that keeps the heap honest, not a
+# hard cap), and asserts:
+#
+#   1. the streamed run's actual peak RSS (VmHWM, sampled from /proc)
+#      stays under RSS_BUDGET — an OS-level bound the in-memory run
+#      cannot meet, so a regression that quietly materializes whole
+#      trajectories fails here even if the self-reported metric lied,
+#   2. the printed peak residency respects the 2×window bound, and
+#   3. the streamed matrix is byte-identical to an unconstrained
+#      in-memory run of the same input.
+#
+# On systems without /proc the RSS assertion degrades to a warning (the
+# byte-identical and 2×window gates still hold); CI runs on Linux.
+set -eu
+
+BIN="$(mktemp -d)"
+OUT="$(mktemp -d)"
+PSA_PID=""
+
+cleanup() {
+    status=$?
+    [ -n "$PSA_PID" ] && kill "$PSA_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$BIN" "$OUT"
+    if [ "$status" -ne 0 ]; then
+        echo "smoke-stream: FAILED (see above)" >&2
+    fi
+    exit "$status"
+}
+trap cleanup EXIT INT TERM HUP
+
+echo "smoke-stream: building trajgen + psa"
+go build -o "$BIN/trajgen" ./cmd/trajgen
+go build -o "$BIN/psa" ./cmd/psa
+
+# 4 trajectories × 2048 atoms × 256 frames: the loaded float64
+# coordinate payload alone is 4·256·2048·24 ≈ 50 MiB (plus as much
+# again for the pruned method's packed copies), while the streamed run
+# holds at most 2 windows ≈ 3 MiB of frames.
+WINDOW=32
+LIMIT=40MiB
+RSS_BUDGET_KB=$((120 * 1024))
+echo "smoke-stream: generating the ensemble (~50 MiB of coordinates)"
+"$BIN/trajgen" -kind ensemble -n 4 -atoms 2048 -frames 256 -seed 7 -out "$OUT/data" >/dev/null
+
+# The matrix rows are the only deterministic output lines; timing and
+# throughput lines vary run to run.
+matrix_of() { # matrix_of <log>
+    grep -E '^([ ]+-?[0-9]+\.[0-9]+)+$' "$1"
+}
+
+# vmhwm_kb <pid>: last observed VmHWM (peak RSS, monotone) of a live
+# process; empty when /proc is unavailable.
+vmhwm_kb() {
+    awk '/^VmHWM:/ {print $2}' "/proc/$1/status" 2>/dev/null || true
+}
+
+echo "smoke-stream: unconstrained in-memory reference run"
+"$BIN/psa" -in "$OUT/data" -engine serial -method pruned >"$OUT/mem.log"
+matrix_of "$OUT/mem.log" >"$OUT/mem.matrix"
+[ -s "$OUT/mem.matrix" ] || { echo "smoke-stream: reference run printed no matrix" >&2; exit 1; }
+
+echo "smoke-stream: streamed run under GOMEMLIMIT=$LIMIT, window=$WINDOW"
+GOMEMLIMIT=$LIMIT "$BIN/psa" -in "$OUT/data" -engine serial -method pruned \
+    -max-frames "$WINDOW" >"$OUT/stream.log" &
+PSA_PID=$!
+PEAK_RSS_KB=""
+while kill -0 "$PSA_PID" 2>/dev/null; do
+    HWM="$(vmhwm_kb "$PSA_PID")"
+    [ -n "$HWM" ] && PEAK_RSS_KB="$HWM"
+    sleep 0.05
+done
+wait "$PSA_PID" || { PSA_PID=""; echo "smoke-stream: streamed run failed" >&2; exit 1; }
+PSA_PID=""
+matrix_of "$OUT/stream.log" >"$OUT/stream.matrix"
+
+if [ -n "$PEAK_RSS_KB" ]; then
+    echo "smoke-stream: streamed peak RSS ${PEAK_RSS_KB}KiB (budget ${RSS_BUDGET_KB}KiB)"
+    if [ "$PEAK_RSS_KB" -gt "$RSS_BUDGET_KB" ]; then
+        echo "smoke-stream: streamed run exceeded the RSS budget — out-of-core path is materializing input" >&2
+        exit 1
+    fi
+else
+    echo "smoke-stream: WARNING: /proc unavailable, skipping the RSS assertion" >&2
+fi
+
+grep -q "^streaming " "$OUT/stream.log" || {
+    echo "smoke-stream: streamed run did not resolve input as a stream" >&2
+    exit 1
+}
+PEAK="$(sed -n 's/^streaming: window=[0-9]* frames, peak resident=\([0-9]*\) frames.*/\1/p' "$OUT/stream.log")"
+[ -n "$PEAK" ] || { echo "smoke-stream: no peak residency reported" >&2; exit 1; }
+if [ "$PEAK" -gt $((2 * WINDOW)) ]; then
+    echo "smoke-stream: peak resident $PEAK frames exceeds 2×window=$((2 * WINDOW))" >&2
+    exit 1
+fi
+
+if ! cmp -s "$OUT/mem.matrix" "$OUT/stream.matrix"; then
+    echo "smoke-stream: streamed matrix differs from the in-memory run" >&2
+    diff "$OUT/mem.matrix" "$OUT/stream.matrix" | head >&2 || true
+    exit 1
+fi
+
+echo "smoke-stream: matrices identical; peak resident $PEAK frames within budget"
+echo "smoke-stream: OK"
