@@ -4,7 +4,7 @@ SMOKE_PORT ?= 18077
 BENCH_CURRENT ?= /tmp/mdtask-bench-current.json
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json bench-gate fmt vet serve smoke-serve smoke-fleet smoke-stream fuzz race
+.PHONY: build test bench bench-json bench-gate fmt vet serve smoke-serve smoke-fleet smoke-stream smoke-cache fuzz race
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,14 @@ smoke-serve:
 # the serial engine's (see scripts/smoke_fleet.sh).
 smoke-fleet:
 	sh scripts/smoke_fleet.sh
+
+# CI smoke for the block-level result store: submit a synth PSA job,
+# resubmit it grown by one trajectory, and assert via the HTTP API that
+# only the new row/column blocks ran — 10 block hits, 5 misses, and
+# exactly the new trajectory's frame pairs evaluated (see
+# scripts/smoke_cache.sh).
+smoke-cache:
+	sh scripts/smoke_cache.sh
 
 # CI smoke for out-of-core streaming: an ensemble whose loaded payload
 # exceeds the streamed child's RSS budget must run to completion with

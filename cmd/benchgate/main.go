@@ -26,8 +26,9 @@ import (
 // benchFile mirrors the layout internal/bench's TestWriteBenchPSAJSON
 // records.
 type benchFile struct {
-	Benchmark string          `json:"benchmark"`
-	Ensembles []benchEnsemble `json:"ensembles"`
+	Benchmark  string           `json:"benchmark"`
+	Ensembles  []benchEnsemble  `json:"ensembles"`
+	BlockCache *benchBlockCache `json:"block_cache"`
 }
 
 type benchEnsemble struct {
@@ -45,6 +46,22 @@ type benchMethod struct {
 	PairsPruned    int64   `json:"pairs_pruned"`
 	PairsAbandoned int64   `json:"pairs_abandoned"`
 	PrunedFraction float64 `json:"pruned_fraction"`
+}
+
+// benchBlockCache is the block-store effectiveness record: every field
+// is deterministic (synth ensembles, fixed schedule), so the gate
+// compares them exactly — no tolerance. Absent from the baseline, the
+// section does not gate (pre-block-store baselines stay valid).
+type benchBlockCache struct {
+	Trajectories      int   `json:"trajectories"`
+	GrownTrajectories int   `json:"grown_trajectories"`
+	Blocks            int   `json:"blocks"`
+	GrownBlocks       int   `json:"grown_blocks"`
+	ColdMisses        int64 `json:"cold_misses"`
+	WarmHits          int64 `json:"warm_hits"`
+	WarmBytesSaved    int64 `json:"warm_bytes_saved"`
+	DeltaHits         int64 `json:"delta_hits"`
+	DeltaMisses       int64 `json:"delta_misses"`
 }
 
 func main() {
@@ -107,7 +124,12 @@ func load(path string) (benchFile, error) {
 //     baseline must be regenerated deliberately, not silently;
 //   - evaluated pairs may not exceed baseline × (1+tol);
 //   - the pruned fraction may not drop below baseline − tol.
+//
+// When the baseline carries a block_cache section, its deterministic
+// counters must match the current run exactly (hits lost to a keying
+// or recording regression show up as a mismatch here).
 func gate(baseline, current benchFile, tol float64) (violations, improvements []string) {
+	violations = append(violations, gateBlockCache(baseline.BlockCache, current.BlockCache)...)
 	cur := make(map[string]benchMethod)
 	for _, e := range current.Ensembles {
 		for _, m := range e.Methods {
@@ -147,4 +169,34 @@ func gate(baseline, current benchFile, tol float64) (violations, improvements []
 		}
 	}
 	return violations, improvements
+}
+
+// gateBlockCache compares the block-store scenario counters exactly.
+// A nil baseline section skips the gate; a baseline with the section
+// requires the current run to carry it too.
+func gateBlockCache(base, cur *benchBlockCache) (violations []string) {
+	if base == nil {
+		return nil
+	}
+	if cur == nil {
+		return []string{"block_cache: missing from current run"}
+	}
+	if base.Trajectories != cur.Trajectories || base.GrownTrajectories != cur.GrownTrajectories {
+		return []string{fmt.Sprintf(
+			"block_cache: scenario changed %d→%d trajectories vs baseline %d→%d (regenerate the baseline deliberately)",
+			cur.Trajectories, cur.GrownTrajectories, base.Trajectories, base.GrownTrajectories)}
+	}
+	check := func(name string, b, c int64) {
+		if b != c {
+			violations = append(violations, fmt.Sprintf("block_cache: %s = %d, baseline %d", name, c, b))
+		}
+	}
+	check("blocks", int64(base.Blocks), int64(cur.Blocks))
+	check("grown_blocks", int64(base.GrownBlocks), int64(cur.GrownBlocks))
+	check("cold_misses", base.ColdMisses, cur.ColdMisses)
+	check("warm_hits", base.WarmHits, cur.WarmHits)
+	check("warm_bytes_saved", base.WarmBytesSaved, cur.WarmBytesSaved)
+	check("delta_hits", base.DeltaHits, cur.DeltaHits)
+	check("delta_misses", base.DeltaMisses, cur.DeltaMisses)
+	return violations
 }

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	mdserver -addr :8077 -workers 2 -queue 64 -cache 128
+//	mdserver -addr :8077 -workers 2 -queue 64 -cache-bytes 268435456
 //
 // Endpoints:
 //
@@ -44,17 +44,18 @@ import (
 	"syscall"
 	"time"
 
+	"mdtask/internal/blockstore"
 	"mdtask/internal/fleet"
 	"mdtask/internal/jobs"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8077", "listen address")
-		workers = flag.Int("workers", 2, "concurrent job limit")
-		queue   = flag.Int("queue", 64, "queued-job limit")
-		cache   = flag.Int("cache", 128, "result-cache entries")
-		retain  = flag.Int("retain", 4096, "finished-job records retained (oldest evicted beyond this)")
+		addr       = flag.String("addr", ":8077", "listen address")
+		workers    = flag.Int("workers", 2, "concurrent job limit")
+		queue      = flag.Int("queue", 64, "queued-job limit")
+		cacheBytes = flag.Int64("cache-bytes", blockstore.DefaultMaxBytes, "result-store byte budget (block + whole-job entries, LRU-evicted)")
+		retain     = flag.Int("retain", 4096, "finished-job records retained (oldest evicted beyond this)")
 
 		fleetWorkers = flag.Int("fleet-workers", 0, "in-process fleet workers to attach (0: external mdworkers only)")
 		leaseTTL     = flag.Duration("fleet-lease-ttl", 15*time.Second, "fleet work-unit lease before requeue")
@@ -63,7 +64,8 @@ func main() {
 	)
 	flag.Parse()
 	cfg := serverConfig{
-		addr: *addr, workers: *workers, queue: *queue, cache: *cache, retain: *retain,
+		addr: *addr, workers: *workers, queue: *queue, retain: *retain,
+		cacheBytes:   *cacheBytes,
 		fleetWorkers: *fleetWorkers,
 		fleetOpts:    fleet.Options{LeaseTTL: *leaseTTL, HeartbeatTTL: *hbTTL, SweepEvery: *sweep},
 	}
@@ -77,10 +79,11 @@ func main() {
 
 // serverConfig carries the resolved flags.
 type serverConfig struct {
-	addr                          string
-	workers, queue, cache, retain int
-	fleetWorkers                  int
-	fleetOpts                     fleet.Options
+	addr                   string
+	workers, queue, retain int
+	cacheBytes             int64
+	fleetWorkers           int
+	fleetOpts              fleet.Options
 	// onReady, when non-nil, receives the bound listen address once the
 	// server is accepting requests (test hook).
 	onReady func(net.Addr)
@@ -117,13 +120,20 @@ func buildHandler(sched *jobs.Scheduler, coord *fleet.Coordinator) http.Handler 
 // run serves until ctx is cancelled (main cancels on SIGINT/SIGTERM)
 // or the listener fails.
 func run(ctx context.Context, cfg serverConfig) error {
-	coord := fleet.NewCoordinator(cfg.fleetOpts)
+	// One content-addressed result store spans the whole process: the
+	// scheduler's whole-job entries, every in-process engine's block
+	// entries, and the fleet coordinator's unit prefill/record all share
+	// it, so work cached by any path is visible to every other.
+	store := blockstore.New(cfg.cacheBytes)
+	fleetOpts := cfg.fleetOpts
+	fleetOpts.BlockStore = store
+	coord := fleet.NewCoordinator(fleetOpts)
 	defer coord.Close()
 	sched := jobs.NewScheduler(jobs.RegistryWithFleet(coord), jobs.Options{
-		Workers:      cfg.workers,
-		QueueDepth:   cfg.queue,
-		CacheEntries: cfg.cache,
-		MaxJobs:      cfg.retain,
+		Workers:    cfg.workers,
+		QueueDepth: cfg.queue,
+		BlockStore: store,
+		MaxJobs:    cfg.retain,
 	})
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -138,8 +148,8 @@ func run(ctx context.Context, cfg serverConfig) error {
 	// below register over real HTTP against this very listener.
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("mdserver listening on %s (workers=%d queue=%d cache=%d fleet-workers=%d)",
-			ln.Addr(), cfg.workers, cfg.queue, cfg.cache, cfg.fleetWorkers)
+		log.Printf("mdserver listening on %s (workers=%d queue=%d cache-bytes=%d fleet-workers=%d)",
+			ln.Addr(), cfg.workers, cfg.queue, cfg.cacheBytes, cfg.fleetWorkers)
 		errc <- srv.Serve(ln)
 	}()
 

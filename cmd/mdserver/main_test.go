@@ -178,7 +178,7 @@ func TestServerFleetRoundTrip(t *testing.T) {
 func TestRunWithLocalFleetWorkers(t *testing.T) {
 	ready := make(chan string, 1)
 	cfg := serverConfig{
-		addr: "127.0.0.1:0", workers: 1, queue: 8, cache: 8, retain: 64,
+		addr: "127.0.0.1:0", workers: 1, queue: 8, cacheBytes: 1 << 20, retain: 64,
 		fleetWorkers: 1,
 		fleetOpts:    fleet.LocalOptions(),
 		onReady:      func(a net.Addr) { ready <- "http://" + a.String() },
@@ -278,7 +278,7 @@ func (a fakeAddr) String() string  { return string(a) }
 func TestRunShutdownWithFleetJobInFlight(t *testing.T) {
 	ready := make(chan string, 1)
 	cfg := serverConfig{
-		addr: "127.0.0.1:0", workers: 1, queue: 8, cache: 8, retain: 64,
+		addr: "127.0.0.1:0", workers: 1, queue: 8, cacheBytes: 1 << 20, retain: 64,
 		fleetWorkers: 1,
 		fleetOpts:    fleet.LocalOptions(),
 		onReady:      func(a net.Addr) { ready <- "http://" + a.String() },

@@ -2,9 +2,11 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
 
+	"mdtask/internal/blockstore"
 	"mdtask/internal/engine"
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/psa"
@@ -147,6 +149,68 @@ type benchJSONEnsemble struct {
 	SpeedupVsNaive float64          `json:"pruned_speedup_vs_naive"`
 }
 
+// benchBlockCacheJSON records the block store's effectiveness in
+// BENCH_psa.json: the lookup counters of a cold run, a warm rerun, and
+// a one-trajectory-grown delta run over one shared store. Every field
+// is a deterministic function of the synth ensemble and the n1=1
+// schedule, so cmd/benchgate compares them exactly.
+type benchBlockCacheJSON struct {
+	Trajectories      int   `json:"trajectories"`
+	GrownTrajectories int   `json:"grown_trajectories"`
+	Blocks            int   `json:"blocks"`
+	GrownBlocks       int   `json:"grown_blocks"`
+	ColdMisses        int64 `json:"cold_misses"`
+	WarmHits          int64 `json:"warm_hits"`
+	WarmBytesSaved    int64 `json:"warm_bytes_saved"`
+	DeltaHits         int64 `json:"delta_hits"`
+	DeltaMisses       int64 `json:"delta_misses"`
+}
+
+// measureBlockCache runs the cold/warm/delta scenario and returns its
+// counters.
+func measureBlockCache() benchBlockCacheJSON {
+	const (
+		baseN, grownN = 8, 9
+		atoms, frames = 16, 8
+	)
+	refsOf := func(n int) traj.RefEnsemble {
+		ens := make(traj.Ensemble, n)
+		for i := range ens {
+			ens[i] = synth.Walk(fmt.Sprintf("bc-%02d", i), atoms, frames, 61, uint64(i))
+		}
+		return traj.RefsOf(ens)
+	}
+	store := blockstore.New(0)
+	run := func(n int) engine.Metrics {
+		refs := refsOf(n)
+		blocks, err := psa.Partition(n, 1, true)
+		if err != nil {
+			panic(err)
+		}
+		sink := &engine.Metrics{}
+		for _, b := range blocks {
+			if _, err := psa.ComputeBlockRefs(refs, b, psa.Opts{Symmetric: true, Cache: store, Metrics: sink}); err != nil {
+				panic(err)
+			}
+		}
+		return sink.Snapshot()
+	}
+	cold := run(baseN)
+	warm := run(baseN)
+	delta := run(grownN)
+	return benchBlockCacheJSON{
+		Trajectories:      baseN,
+		GrownTrajectories: grownN,
+		Blocks:            baseN * (baseN + 1) / 2,
+		GrownBlocks:       grownN * (grownN + 1) / 2,
+		ColdMisses:        cold.BlockCacheMisses,
+		WarmHits:          warm.BlockCacheHits,
+		WarmBytesSaved:    warm.BlockCacheBytesSaved,
+		DeltaHits:         delta.BlockCacheHits,
+		DeltaMisses:       delta.BlockCacheMisses,
+	}
+}
+
 // TestWriteBenchPSAJSON records the kernel perf trajectory to the file
 // named by MDTASK_BENCH_JSON (skipped when unset — it is driven by
 // `make bench-json`, which CI runs as a non-gating step).
@@ -156,9 +220,12 @@ func TestWriteBenchPSAJSON(t *testing.T) {
 		t.Skip("MDTASK_BENCH_JSON not set; run via make bench-json")
 	}
 	report := struct {
-		Benchmark string              `json:"benchmark"`
-		Ensembles []benchJSONEnsemble `json:"ensembles"`
+		Benchmark  string               `json:"benchmark"`
+		Ensembles  []benchJSONEnsemble  `json:"ensembles"`
+		BlockCache *benchBlockCacheJSON `json:"block_cache,omitempty"`
 	}{Benchmark: "psa-hausdorff-kernel"}
+	bc := measureBlockCache()
+	report.BlockCache = &bc
 	for _, tc := range []struct {
 		kind string
 		ens  traj.Ensemble

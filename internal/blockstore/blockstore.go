@@ -1,0 +1,238 @@
+// Package blockstore implements the content-addressed result store
+// that backs block-level caching across jobs, engines, and the fleet.
+//
+// # Keys
+//
+// Entries are keyed by content, not by job: a PSA block key digests the
+// block layout (rectangular vs. triangle-packed diagonal) and the
+// content digests of the trajectories in its row and column ranges
+// (psa.BlockKey); a Leaflet tile key digests the frame's coordinates,
+// the cutoff, the edge algorithm, and the tile bounds (leaflet.TileKey);
+// whole-job results are stored under their jobs.CacheKey. Because keys
+// carry no absolute matrix coordinates and no job identity, the same
+// trajectory pair hits the cache wherever it lands in the schedule —
+// which is what makes delta resubmission work: a job sharing K of N
+// trajectories with cached work re-computes only the O(ΔN·N) blocks
+// involving new trajectories, and assembles the rest from the store.
+//
+// Method, schedule, and frame-residency parameters are deliberately
+// excluded from PSA block keys: every Hausdorff method is exact and the
+// streamed kernel is bit-identical to the in-memory one, so the values
+// of a block depend only on trajectory content and block layout.
+//
+// # Eviction
+//
+// The store holds a byte budget, not an entry count: each Put carries
+// the entry's payload size and the least-recently-used entries are
+// evicted until the budget holds. An entry larger than the whole budget
+// is not stored.
+//
+// # Single flight
+//
+// Do de-duplicates concurrent identical blocks: the first caller
+// computes, later callers wait and share the stored value. If the
+// leader fails (or its block was cancelled mid-run), one waiter is
+// promoted to compute instead, so a transient failure never poisons
+// the key.
+//
+// # Cancellation
+//
+// Values are recorded only for completed kernels. A cancelled block's
+// zero-filled remainder is never written: compute functions signal an
+// incomplete result with an error (the psa and leaflet hooks use a
+// sentinel), which Do passes through without storing.
+package blockstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultMaxBytes is the byte budget used when New is given a
+// non-positive budget (mdserver's -cache-bytes default).
+const DefaultMaxBytes = 256 << 20
+
+// Stats is a point-in-time snapshot of store accounting.
+type Stats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Entries    int   `json:"entries"`
+	Bytes      int64 `json:"bytes"`
+	MaxBytes   int64 `json:"max_bytes"`
+	BytesSaved int64 `json:"bytes_saved"`
+	Evictions  int64 `json:"evictions"`
+}
+
+type entry struct {
+	key  string
+	val  any
+	size int64
+}
+
+// flight is one in-progress computation of a key.
+type flight struct {
+	done chan struct{}
+	val  any
+	ok   bool // leader completed and stored a value
+}
+
+// Store is a byte-budget LRU of content-addressed results, safe for
+// concurrent use.
+type Store struct {
+	mu         sync.Mutex
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used; values are *entry
+	index      map[string]*list.Element
+	flights    map[string]*flight
+	hits       int64
+	misses     int64
+	bytesSaved int64
+	evictions  int64
+}
+
+// New returns a store with the given byte budget; non-positive budgets
+// fall back to DefaultMaxBytes.
+func New(maxBytes int64) *Store {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Store{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		index:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// Get returns the value stored under key, counting a hit or miss and
+// refreshing the entry's recency.
+func (s *Store) Get(key string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		s.ll.MoveToFront(el)
+		s.hits++
+		return el.Value.(*entry).val, true
+	}
+	s.misses++
+	return nil, false
+}
+
+// Put stores val under key with the given payload size, evicting
+// least-recently-used entries until the byte budget holds. Entries
+// larger than the whole budget are not stored; sizes below zero are
+// treated as zero.
+func (s *Store) Put(key string, val any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(key, val, size)
+}
+
+func (s *Store) putLocked(key string, val any, size int64) {
+	if size > s.maxBytes {
+		return
+	}
+	if el, ok := s.index[key]; ok {
+		e := el.Value.(*entry)
+		s.bytes += size - e.size
+		e.val, e.size = val, size
+		s.ll.MoveToFront(el)
+	} else {
+		e := &entry{key: key, val: val, size: size}
+		s.index[key] = s.ll.PushFront(e)
+		s.bytes += size
+	}
+	for s.bytes > s.maxBytes {
+		oldest := s.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*entry)
+		s.ll.Remove(oldest)
+		delete(s.index, e.key)
+		s.bytes -= e.size
+		s.evictions++
+	}
+}
+
+// Do returns the value for key, computing it at most once across
+// concurrent callers. On a hit (stored entry, or a concurrent leader's
+// freshly stored value) it reports hit=true and credits sizeOf(val)
+// bytes as saved work. On a miss the caller becomes the leader: it runs
+// compute, stores the value only when compute succeeds, and passes
+// compute's value and error through either way. If a leader fails,
+// one waiting caller is promoted to leader and retries.
+func (s *Store) Do(key string, sizeOf func(val any) int64, compute func() (any, error)) (val any, hit bool, err error) {
+	for {
+		s.mu.Lock()
+		if el, ok := s.index[key]; ok {
+			s.ll.MoveToFront(el)
+			e := el.Value.(*entry)
+			s.hits++
+			s.bytesSaved += e.size
+			s.mu.Unlock()
+			return e.val, true, nil
+		}
+		if f, ok := s.flights[key]; ok {
+			s.mu.Unlock()
+			<-f.done
+			if f.ok {
+				s.mu.Lock()
+				s.hits++
+				s.bytesSaved += sizeOf(f.val)
+				s.mu.Unlock()
+				return f.val, true, nil
+			}
+			// Leader failed; loop and race to become the next leader.
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.misses++
+		s.mu.Unlock()
+
+		val, err = compute()
+		s.mu.Lock()
+		delete(s.flights, key)
+		if err == nil {
+			s.putLocked(key, val, sizeOf(val))
+			f.val, f.ok = val, true
+		}
+		s.mu.Unlock()
+		close(f.done)
+		return val, false, err
+	}
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Bytes returns the stored payload bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Stats returns a snapshot of the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:       s.hits,
+		Misses:     s.misses,
+		Entries:    s.ll.Len(),
+		Bytes:      s.bytes,
+		MaxBytes:   s.maxBytes,
+		BytesSaved: s.bytesSaved,
+		Evictions:  s.evictions,
+	}
+}

@@ -44,6 +44,17 @@ type Metrics struct {
 	// time, making the streaming read amplification visible.
 	PeakResidentFrames int64
 	BytesStreamed      int64
+
+	// Block-cache accounting: task bodies that consult the
+	// content-addressed block store count each lookup as a hit (the
+	// kernel was skipped and BlockCacheBytesSaved grows by the cached
+	// payload size) or a miss (the kernel ran and its result was
+	// recorded). Hits run no kernel work, so on a fully warm run the
+	// frame-pair counters stay zero while BlockCacheHits equals the
+	// schedule's block count.
+	BlockCacheHits       int64
+	BlockCacheMisses     int64
+	BlockCacheBytesSaved int64
 }
 
 // RecordTask accounts one completed task of the given duration.
@@ -98,6 +109,14 @@ func (m *Metrics) ObservePeakResident(frames int64) {
 // sources.
 func (m *Metrics) AddStreamed(n int64) { atomic.AddInt64(&m.BytesStreamed, n) }
 
+// AddBlockCache accounts block-store lookups: hits (with the payload
+// bytes the cache saved recomputing) and misses.
+func (m *Metrics) AddBlockCache(hits, misses, bytesSaved int64) {
+	atomic.AddInt64(&m.BlockCacheHits, hits)
+	atomic.AddInt64(&m.BlockCacheMisses, misses)
+	atomic.AddInt64(&m.BlockCacheBytesSaved, bytesSaved)
+}
+
 // Snapshot returns a copy of the metrics safe to read.
 func (m *Metrics) Snapshot() Metrics {
 	m.mu.Lock()
@@ -118,6 +137,10 @@ func (m *Metrics) Snapshot() Metrics {
 
 		PeakResidentFrames: atomic.LoadInt64(&m.PeakResidentFrames),
 		BytesStreamed:      atomic.LoadInt64(&m.BytesStreamed),
+
+		BlockCacheHits:       atomic.LoadInt64(&m.BlockCacheHits),
+		BlockCacheMisses:     atomic.LoadInt64(&m.BlockCacheMisses),
+		BlockCacheBytesSaved: atomic.LoadInt64(&m.BlockCacheBytesSaved),
 	}
 }
 
@@ -147,6 +170,7 @@ func (m *Metrics) MergeFrom(other *Metrics) {
 	m.AddPairs(s.PairsEvaluated, s.PairsPruned, s.PairsAbandoned)
 	m.ObservePeakResident(s.PeakResidentFrames)
 	m.AddStreamed(s.BytesStreamed)
+	m.AddBlockCache(s.BlockCacheHits, s.BlockCacheMisses, s.BlockCacheBytesSaved)
 }
 
 // TaskPanicError wraps a panic recovered from a task so callers get an

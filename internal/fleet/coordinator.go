@@ -120,6 +120,11 @@ type Job struct {
 
 	metrics *engine.Metrics
 
+	// keys holds the per-unit content addresses in the coordinator's
+	// block store (nil when the store is absent or the input could not
+	// be digested — the job then runs fully uncached).
+	keys []string
+
 	pending   []int // unit queue; requeued units go to the front
 	done      []bool
 	remaining int
@@ -239,6 +244,22 @@ func (c *Coordinator) SubmitPSARefs(refs traj.RefEnsemble, n1 int, opts psa.Opts
 			return nil, err
 		}
 	}
+	// Content-address the units so admit can serve already-cached blocks
+	// without leasing them. The keys are the very same ones the
+	// in-process engines use, so blocks cross between engines freely. A
+	// digest failure (unreadable source) just disables caching.
+	if c.opts.BlockStore != nil {
+		keys := make([]string, len(blocks))
+		for i, b := range blocks {
+			k, kerr := psa.BlockKey(refs, b, opts.Symmetric)
+			if kerr != nil {
+				keys = nil
+				break
+			}
+			keys[i] = k
+		}
+		j.keys = keys
+	}
 	return c.admit(j, len(blocks))
 }
 
@@ -265,19 +286,40 @@ func (c *Coordinator) SubmitLeaflet(coords []linalg.Vec3, cutoff float64, maxTas
 		parts:    make([][]graph.Component, len(tiles)),
 		metrics:  m,
 	}
+	if c.opts.BlockStore != nil {
+		digest := leaflet.CoordsDigest(coords)
+		keys := make([]string, len(tiles))
+		for i, t := range tiles {
+			keys[i] = leaflet.TileKey(digest, cutoff, tree, t.RLo, t.RHi, t.CLo, t.CHi)
+		}
+		j.keys = keys
+	}
 	return c.admit(j, len(tiles))
 }
 
-// admit registers a prepared job with units work units.
+// admit registers a prepared job with units work units. The block
+// store is consulted before any lease is granted: units whose content
+// address is already cached are recorded here and never enter the
+// queue, so a job sharing input with an earlier one — whatever engine
+// or worker computed it — fans out only its missing units.
 func (c *Coordinator) admit(j *Job, units int) (*Job, error) {
 	if j.metrics == nil {
 		j.metrics = &engine.Metrics{}
 	}
 	j.done = make([]bool, units)
 	j.remaining = units
-	j.pending = make([]int, units)
-	for i := range j.pending {
-		j.pending[i] = i
+	j.pending = make([]int, 0, units)
+	store := c.opts.BlockStore
+	for i := 0; i < units; i++ {
+		if store != nil && j.keys != nil {
+			if v, ok := store.Get(j.keys[i]); ok && j.prefill(i, v) {
+				j.done[i] = true
+				j.remaining--
+				continue
+			}
+			j.metrics.AddBlockCache(0, 1, 0)
+		}
+		j.pending = append(j.pending, i)
 	}
 	j.doneCh = make(chan struct{})
 	c.mu.Lock()
@@ -289,10 +331,38 @@ func (c *Coordinator) admit(j *Job, units int) (*Job, error) {
 	j.id = fmt.Sprintf("fj-%06d", c.jseq)
 	c.jobs[j.id] = j
 	c.jobOrder = append(c.jobOrder, j)
-	if units == 0 {
+	if j.remaining == 0 {
 		j.assembleLocked()
 	}
 	return j, nil
+}
+
+// prefill records one unit from a cached store value, reporting whether
+// the value had the expected shape (a mismatch leaves the unit to be
+// computed normally). It runs before the job is registered, so no lock
+// is held.
+func (j *Job) prefill(unit int, v any) bool {
+	switch j.analysis {
+	case AnalysisPSA:
+		vals, ok := v.([]float64)
+		if !ok || len(vals) != j.blocks[unit].TaskPairs(j.sym) {
+			return false
+		}
+		j.results[unit] = psa.BlockResult{Block: j.blocks[unit], Values: vals, Symmetric: j.sym}
+		j.metrics.AddBlockCache(1, 0, int64(len(vals))*8)
+	case AnalysisLeaflet:
+		tp, ok := v.(leaflet.TilePartial)
+		if !ok {
+			return false
+		}
+		j.parts[unit] = tp.Comps
+		j.edges += tp.Edges
+		j.shuffle += graph.ComponentBytes(tp.Comps)
+		j.metrics.AddBlockCache(1, 0, tp.SizeBytes())
+	default:
+		return false
+	}
+	return true
 }
 
 // Abort cancels a job: pending units are dropped, Wait returns
@@ -531,6 +601,20 @@ func (c *Coordinator) complete(workerID string, res UnitResult) error {
 	j.done[l.unit] = true
 	j.remaining--
 	c.unitsCompleted++
+	// Record the validated unit into the block store. Only complete,
+	// shape-checked payloads reach this point — an aborted job bails out
+	// above with ErrStaleLease — so no partial result is ever observable
+	// under a content address.
+	if store := c.opts.BlockStore; store != nil && j.keys != nil {
+		switch j.analysis {
+		case AnalysisPSA:
+			vals := j.results[l.unit].Values
+			store.Put(j.keys[l.unit], vals, int64(len(vals))*8)
+		case AnalysisLeaflet:
+			tp := leaflet.TilePartial{Comps: res.Comps, Edges: res.Edges}
+			store.Put(j.keys[l.unit], tp, tp.SizeBytes())
+		}
+	}
 	j.metrics.RecordTask(time.Duration(res.ElapsedNS))
 	j.metrics.AddPairs(res.Counters.Evaluated, res.Counters.Pruned, res.Counters.Abandoned)
 	j.metrics.ObservePeakResident(res.PeakResidentFrames)

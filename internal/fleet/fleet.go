@@ -52,6 +52,8 @@ package fleet
 import (
 	"errors"
 	"time"
+
+	"mdtask/internal/blockstore"
 )
 
 // Errors surfaced by the coordinator.
@@ -89,6 +91,13 @@ type Options struct {
 	// PollEvery is the idle-poll interval advertised to workers when no
 	// work is available (default 200ms).
 	PollEvery time.Duration
+	// BlockStore, when set, is the content-addressed result store the
+	// coordinator consults before leasing any work unit: units whose
+	// block is already cached are recorded at admission and never fan
+	// out, and every validated worker result is recorded back, so
+	// blocks computed by in-process engines, earlier fleet jobs, or
+	// other workers are shared. Nil disables unit-level caching.
+	BlockStore *blockstore.Store
 }
 
 // withDefaults fills unset options.

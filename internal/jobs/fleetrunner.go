@@ -3,6 +3,7 @@ package jobs
 import (
 	"errors"
 
+	"mdtask/internal/blockstore"
 	"mdtask/internal/fleet"
 	"mdtask/internal/leaflet"
 	"mdtask/internal/psa"
@@ -18,12 +19,17 @@ import (
 // wire protocol.
 
 // fleetCoordinator resolves the coordinator a fleet job runs on,
-// returning a cleanup for the ephemeral case.
-func fleetCoordinator(shared *fleet.Coordinator, workers int) (*fleet.Coordinator, func(), error) {
+// returning a cleanup for the ephemeral case. A shared coordinator
+// already carries the server's block store; an ephemeral loopback
+// fleet is handed the scheduler's store so even one-shot fleet jobs
+// hit and feed the same cache as every other engine.
+func fleetCoordinator(shared *fleet.Coordinator, workers int, store *blockstore.Store) (*fleet.Coordinator, func(), error) {
 	if shared != nil {
 		return shared, func() {}, nil
 	}
-	lf, err := fleet.StartLocal(workers, fleet.LocalOptions())
+	lo := fleet.LocalOptions()
+	lo.BlockStore = store
+	lf, err := fleet.StartLocal(workers, lo)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -49,7 +55,7 @@ func psaFleetRunner(shared *fleet.Coordinator) Runner {
 		if rc.Cancelled() {
 			return nil, ErrCancelled
 		}
-		c, cleanup, err := fleetCoordinator(shared, spec.ranks())
+		c, cleanup, err := fleetCoordinator(shared, spec.ranks(), rc.BlockStore())
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +92,7 @@ func leafletFleetRunner(shared *fleet.Coordinator) Runner {
 		if err != nil {
 			return nil, err
 		}
-		c, cleanup, err := fleetCoordinator(shared, spec.ranks())
+		c, cleanup, err := fleetCoordinator(shared, spec.ranks(), rc.BlockStore())
 		if err != nil {
 			return nil, err
 		}

@@ -5,13 +5,11 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"hash"
-	"io"
-	"math"
 	"path/filepath"
 	"sort"
 	"sync"
 
+	"mdtask/internal/leaflet"
 	"mdtask/internal/linalg"
 	"mdtask/internal/synth"
 	"mdtask/internal/traj"
@@ -38,19 +36,20 @@ type Input struct {
 }
 
 // ContentDigest returns the hex SHA-256 of the input content, computed
-// lazily (the one-shot CLI path never needs it) and cached. Streamed
-// inputs are digested window by window and hash identically to the
-// same data loaded in memory.
+// lazily (the one-shot CLI path never needs it) and cached. A PSA
+// ensemble digests as the ordered list of its members' per-trajectory
+// content digests (traj.Ref.Digest) — the same digests the block cache
+// keys blocks under, so the one scan that content-addresses a job also
+// warms every per-trajectory digest the engines will need. Streamed
+// refs digest frame by frame and hash identically to the same data
+// loaded in memory.
 func (in *Input) ContentDigest() (string, error) {
 	in.digestOnce.Do(func() {
-		switch {
-		case in.Ens != nil:
-			in.digest = ensembleDigest(in.Ens)
-		case in.Refs != nil:
+		if in.Refs != nil {
 			in.digest, in.digestErr = refsDigest(in.Refs)
-		default:
-			in.digest = coordsDigest(in.Coords)
+			return
 		}
+		in.digest = leaflet.CoordsDigest(in.Coords)
 	})
 	return in.digest, in.digestErr
 }
@@ -165,79 +164,25 @@ func resolveCoords(spec Spec) ([]linalg.Vec3, error) {
 	return t.FrameCoords(0), nil
 }
 
-// ensembleDigest hashes an ensemble's shape and coordinates.
-func ensembleDigest(ens traj.Ensemble) string {
-	h := sha256.New()
-	writeInt(h, int64(len(ens)))
-	for _, t := range ens {
-		writeInt(h, int64(t.NAtoms))
-		writeInt(h, int64(t.NFrames()))
-		for _, f := range t.Frames {
-			writeCoords(h, f.Coords)
-		}
-	}
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-// refsDigest hashes a streamed ensemble frame by frame — one frame
-// resident at a time — producing exactly the digest ensembleDigest
-// would compute on the loaded data, so streamed and in-memory
-// submissions of the same input share one cache entry. The cost is one
-// full scan of the on-disk data per submission (content addressing
-// cannot be had for less without trusting file metadata); callers that
-// cannot afford the scan on the submit path should run through
-// RunLocal, which never digests.
+// refsDigest hashes an ensemble as the ordered list of its members'
+// content digests. Each member digests streamed or in-memory data
+// identically (traj.Ref.Digest), so streamed and in-memory submissions
+// of the same input share one cache entry. The cost is one full scan of
+// on-disk data per submission (content addressing cannot be had for
+// less without trusting file metadata); callers that cannot afford the
+// scan on the submit path should run through RunLocal, which never
+// digests.
 func refsDigest(refs traj.RefEnsemble) (string, error) {
+	ds, err := refs.Digests()
+	if err != nil {
+		return "", err
+	}
 	h := sha256.New()
-	writeInt(h, int64(len(refs)))
-	for _, r := range refs {
-		writeInt(h, int64(r.NAtoms()))
-		writeInt(h, int64(r.NFrames()))
-		src, err := r.Open()
-		if err != nil {
-			return "", err
-		}
-		for {
-			f, err := src.NextFrame()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				src.Close()
-				return "", err
-			}
-			writeCoords(h, f.Coords)
-		}
-		if err := src.Close(); err != nil {
-			return "", err
-		}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(ds)))
+	h.Write(buf[:])
+	for _, d := range ds {
+		h.Write([]byte(d))
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
-}
-
-// coordsDigest hashes a coordinate set.
-func coordsDigest(coords []linalg.Vec3) string {
-	h := sha256.New()
-	writeInt(h, int64(len(coords)))
-	writeCoords(h, coords)
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-func writeInt(h hash.Hash, v int64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(v))
-	h.Write(buf[:])
-}
-
-func writeCoords(h hash.Hash, coords []linalg.Vec3) {
-	buf := make([]byte, 0, 24*256)
-	for i, p := range coords {
-		for k := 0; k < 3; k++ {
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p[k]))
-		}
-		if len(buf) >= 24*256 || i == len(coords)-1 {
-			h.Write(buf)
-			buf = buf[:0]
-		}
-	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mdtask/internal/blockstore"
 	"mdtask/internal/dask"
 	"mdtask/internal/engine"
 	"mdtask/internal/fleet"
@@ -25,12 +26,14 @@ import (
 var ErrCancelled = errors.New("jobs: job cancelled")
 
 // RunContext is the per-run handle a Runner receives: a cooperative
-// cancellation flag polled at block boundaries, and the live metrics
-// sink of whatever engine the runner brought up (so a running job's
-// status can report progress).
+// cancellation flag polled at block boundaries, the live metrics sink
+// of whatever engine the runner brought up (so a running job's status
+// can report progress), and the content-addressed block store the run
+// consults (nil on the uncached one-shot path).
 type RunContext struct {
 	cancelled atomic.Bool
 	live      atomic.Pointer[engine.Metrics]
+	store     atomic.Pointer[blockstore.Store]
 }
 
 // NewRunContext returns a context with a fresh metrics sink.
@@ -57,6 +60,18 @@ func (rc *RunContext) SetMetrics(m *engine.Metrics) {
 		rc.live.Store(m)
 	}
 }
+
+// SetBlockStore attaches the content-addressed block store the run's
+// engines consult and record into (the scheduler sets its own at
+// submission; nil leaves the run uncached).
+func (rc *RunContext) SetBlockStore(s *blockstore.Store) {
+	if s != nil {
+		rc.store.Store(s)
+	}
+}
+
+// BlockStore returns the run's block store, or nil when uncached.
+func (rc *RunContext) BlockStore() *blockstore.Store { return rc.store.Load() }
 
 // Runner executes one analysis job over already-resolved input and
 // returns its result. Runners must poll rc for cancellation and leave
@@ -211,6 +226,10 @@ func psaRunner(engineName string) Runner {
 			Method:            spec.hausdorffMethod(),
 			Cancel:            rc.Cancelled,
 			MaxResidentFrames: spec.MaxResidentFrames,
+			// Every task body consults the run's block store (nil on the
+			// uncached one-shot path), so blocks shared with earlier jobs
+			// skip their kernels whatever the engine.
+			Cache: rc.BlockStore(),
 		}
 		if opts.Method == hausdorff.Pruned && opts.MaxResidentFrames == 0 {
 			// Build the packed representation (contiguous frames +
@@ -302,6 +321,19 @@ func leafletRunner(engineName string) Runner {
 		}
 		coords, cutoff, tasks := in.Coords, spec.Cutoff, spec.Tasks
 		cancel := leaflet.WithCancel(rc.Cancelled)
+		// tileOpts wires the run's block store into the tile-parallel
+		// drivers, keyed under the input's content digest, with cache
+		// accounting routed to the engine sink m. The serial and pilot
+		// paths have no per-tile unit and rely on whole-job entries.
+		tileOpts := func(m *engine.Metrics) []leaflet.Option {
+			out := []leaflet.Option{cancel}
+			if store := rc.BlockStore(); store != nil {
+				if digest, derr := in.ContentDigest(); derr == nil {
+					out = append(out, leaflet.WithBlockCache(store, digest, m))
+				}
+			}
+			return out
+		}
 		var res *leaflet.Result
 		switch engineName {
 		case EngineSerial:
@@ -312,14 +344,14 @@ func leafletRunner(engineName string) Runner {
 		case EngineSpark:
 			ctx := rdd.NewContext(spec.Parallelism)
 			rc.SetMetrics(ctx.Metrics)
-			res, err = leaflet.RunRDD(ctx, approach, coords, cutoff, tasks, cancel)
+			res, err = leaflet.RunRDD(ctx, approach, coords, cutoff, tasks, tileOpts(ctx.Metrics)...)
 		case EngineDask:
 			client := dask.NewClient(spec.Parallelism)
 			rc.SetMetrics(client.Metrics)
-			res, err = leaflet.RunDask(client, approach, coords, cutoff, tasks, cancel)
+			res, err = leaflet.RunDask(client, approach, coords, cutoff, tasks, tileOpts(client.Metrics)...)
 		case EngineMPI:
 			res, err = leaflet.RunMPI(spec.ranks(), approach, coords, cutoff, tasks,
-				cancel, leaflet.WithMetrics(rc.Metrics()))
+				append(tileOpts(rc.Metrics()), leaflet.WithMetrics(rc.Metrics()))...)
 		case EnginePilot:
 			p, cleanup, perr := startPilot(spec.ranks(), rc.Metrics())
 			if perr != nil {
@@ -377,13 +409,24 @@ func Resolve(spec Spec) (Spec, *Input, error) {
 
 // Run executes an already-resolved spec synchronously on the calling
 // goroutine, returning the result and the engine metrics of the run.
+// The run is uncached; use RunCached to attach a block store.
 func Run(reg *Registry, spec Spec, in *Input) (*Result, MetricsSnapshot, error) {
+	return RunCached(reg, spec, in, nil)
+}
+
+// RunCached is Run with a content-addressed block store attached: every
+// engine's task bodies consult store before running their kernels and
+// record completed results into it, so consecutive runs sharing content
+// (same input on another engine, or a grown ensemble) recompute only
+// missing blocks. A nil store runs uncached.
+func RunCached(reg *Registry, spec Spec, in *Input, store *blockstore.Store) (*Result, MetricsSnapshot, error) {
 	name := RunnerName(spec.Analysis, spec.Engine)
 	runner, ok := reg.Lookup(name)
 	if !ok {
 		return nil, MetricsSnapshot{}, fmt.Errorf("jobs: no runner registered for %q", name)
 	}
 	rc := NewRunContext()
+	rc.SetBlockStore(store)
 	res, err := runner(rc, spec, in)
 	return res, SnapshotOf(rc.Metrics()), err
 }

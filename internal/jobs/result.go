@@ -41,6 +41,12 @@ type MetricsSnapshot struct {
 	// coordinate bytes decoded from trajectory sources.
 	PeakResidentFrames int64 `json:"peak_resident_frames"`
 	BytesStreamed      int64 `json:"bytes_streamed"`
+	// Block-cache accounting: per-block lookups against the
+	// content-addressed store (hits skipped their kernel entirely,
+	// saving the recorded payload bytes of recomputation).
+	BlockCacheHits       int64 `json:"block_cache_hits"`
+	BlockCacheMisses     int64 `json:"block_cache_misses"`
+	BlockCacheBytesSaved int64 `json:"block_cache_bytes_saved"`
 }
 
 // SnapshotOf copies the current totals of a metrics sink (nil-safe).
@@ -65,5 +71,28 @@ func SnapshotOf(m *engine.Metrics) MetricsSnapshot {
 
 		PeakResidentFrames: s.PeakResidentFrames,
 		BytesStreamed:      s.BytesStreamed,
+
+		BlockCacheHits:       s.BlockCacheHits,
+		BlockCacheMisses:     s.BlockCacheMisses,
+		BlockCacheBytesSaved: s.BlockCacheBytesSaved,
 	}
+}
+
+// resultBytes estimates the retained payload size of a job result, for
+// the store's byte-budget accounting.
+func resultBytes(r *Result) int64 {
+	var n int64 = 64
+	if r == nil {
+		return n
+	}
+	if r.Matrix != nil {
+		n += int64(len(r.Matrix.Data)) * 8
+	}
+	if r.Leaflet != nil {
+		n += int64(len(r.Leaflet.Labels)) * 4
+		for _, c := range r.Leaflet.Components {
+			n += int64(len(c)) * 4
+		}
+	}
+	return n
 }

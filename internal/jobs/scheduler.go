@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mdtask/internal/blockstore"
 	"mdtask/internal/engine"
 )
 
@@ -64,20 +65,25 @@ func (j *Job) Spec() Spec { return j.spec }
 
 // Status is the JSON view of a job's current state and progress.
 type Status struct {
-	ID              string          `json:"id"`
-	Analysis        string          `json:"analysis"`
-	Engine          string          `json:"engine"`
-	State           State           `json:"state"`
-	Error           string          `json:"error,omitempty"`
-	CacheHit        bool            `json:"cache_hit"`
-	CancelRequested bool            `json:"cancel_requested,omitempty"`
-	Created         time.Time       `json:"created"`
-	Started         *time.Time      `json:"started,omitempty"`
-	Finished        *time.Time      `json:"finished,omitempty"`
-	TasksDone       int64           `json:"tasks_done"`
-	TasksTotal      int             `json:"tasks_total,omitempty"`
-	Progress        float64         `json:"progress"`
-	Metrics         MetricsSnapshot `json:"metrics"`
+	ID              string     `json:"id"`
+	Analysis        string     `json:"analysis"`
+	Engine          string     `json:"engine"`
+	State           State      `json:"state"`
+	Error           string     `json:"error,omitempty"`
+	CacheHit        bool       `json:"cache_hit"`
+	CancelRequested bool       `json:"cancel_requested,omitempty"`
+	Created         time.Time  `json:"created"`
+	Started         *time.Time `json:"started,omitempty"`
+	Finished        *time.Time `json:"finished,omitempty"`
+	TasksDone       int64      `json:"tasks_done"`
+	TasksTotal      int        `json:"tasks_total,omitempty"`
+	Progress        float64    `json:"progress"`
+	// BlockHitRatio is the share of the job's block lookups answered
+	// from the store — 1 for a fully warm run, 0 for a cold one, and in
+	// between for a delta resubmission that recomputed only its missing
+	// blocks. Zero also when the run made no block lookups.
+	BlockHitRatio float64         `json:"block_hit_ratio"`
+	Metrics       MetricsSnapshot `json:"metrics"`
 }
 
 // Status snapshots the job: state, timing, and metrics — live engine
@@ -110,6 +116,9 @@ func (j *Job) Status() Status {
 		st.Metrics = SnapshotOf(j.rc.Metrics())
 	}
 	st.TasksDone = st.Metrics.Tasks
+	if looked := st.Metrics.BlockCacheHits + st.Metrics.BlockCacheMisses; looked > 0 {
+		st.BlockHitRatio = float64(st.Metrics.BlockCacheHits) / float64(looked)
+	}
 	switch {
 	case j.state == StateDone:
 		st.Progress = 1
@@ -138,8 +147,15 @@ type Options struct {
 	// QueueDepth bounds the number of queued-but-not-running jobs
 	// (< 1: 64); Submit fails with ErrQueueFull beyond it.
 	QueueDepth int
-	// CacheEntries bounds the result cache (< 1: 128).
-	CacheEntries int
+	// CacheBytes is the byte budget of the content-addressed result
+	// store — per-block kernel results and whole-job results share it
+	// (< 1: blockstore.DefaultMaxBytes). Ignored when BlockStore is set.
+	CacheBytes int64
+	// BlockStore, when non-nil, is a store the scheduler shares with
+	// other components instead of owning its own — cmd/mdserver passes
+	// the store its fleet coordinator also records into, so fleet
+	// workers and in-process engines populate one cache.
+	BlockStore *blockstore.Store
 	// MaxJobs bounds the retained job records (< 1: 4096). When a new
 	// submission would exceed it, the oldest *terminal* job records —
 	// status and result — are evicted, after which their ids answer 404.
@@ -148,11 +164,12 @@ type Options struct {
 }
 
 // Scheduler owns the job table, the bounded FIFO queue, the worker
-// pool, the content-addressed result cache, and the service-wide
-// engine-metrics aggregate.
+// pool, the content-addressed result store (whole-job entries and the
+// per-block entries every engine records through it), and the
+// service-wide engine-metrics aggregate.
 type Scheduler struct {
 	reg   *Registry
-	cache *Cache
+	store *blockstore.Store
 	agg   *engine.Metrics
 
 	cacheHits   atomic.Int64
@@ -182,9 +199,13 @@ func NewScheduler(reg *Registry, o Options) *Scheduler {
 	if o.MaxJobs < 1 {
 		o.MaxJobs = 4096
 	}
+	store := o.BlockStore
+	if store == nil {
+		store = blockstore.New(o.CacheBytes)
+	}
 	s := &Scheduler{
 		reg:        reg,
-		cache:      NewCache(o.CacheEntries),
+		store:      store,
 		agg:        &engine.Metrics{},
 		maxJobs:    o.MaxJobs,
 		queueDepth: o.QueueDepth,
@@ -245,13 +266,17 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 		created:    time.Now(),
 		input:      in,
 	}
+	// Engines the runner brings up consult (and populate) the service
+	// store block by block, so even a partial overlap with earlier jobs
+	// skips the shared kernel work.
+	job.rc.SetBlockStore(s.store)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
-	hit, hitOK := s.cache.Get(job.key)
+	cached, hitOK := s.store.Get(jobEntryKey(job.key))
 	if !hitOK && len(s.pending) >= s.queueDepth {
 		return nil, ErrQueueFull
 	}
@@ -263,7 +288,7 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 		s.cacheHits.Add(1)
 		job.state = StateDone
 		job.cacheHit = true
-		job.result = hit
+		job.result = cached.(*Result)
 		job.finished = job.created
 		job.input = nil
 	} else {
@@ -369,14 +394,18 @@ func (s *Scheduler) unqueue(j *Job) {
 }
 
 // ServiceMetrics is the JSON view of GET /v1/metrics: job counts by
-// state, cache effectiveness, and the aggregated engine accounting of
-// every job run so far.
+// state, whole-job cache effectiveness, the shared block store's
+// accounting, and the aggregated engine accounting of every job run so
+// far. CacheHits/CacheMisses count whole-job submissions answered from
+// the store; BlockCache counts every lookup inside it — per-block hits
+// from partially overlapping jobs land there, not in CacheHits.
 type ServiceMetrics struct {
-	Jobs         map[State]int   `json:"jobs"`
-	CacheHits    int64           `json:"cache_hits"`
-	CacheMisses  int64           `json:"cache_misses"`
-	CacheEntries int             `json:"cache_entries"`
-	Engine       MetricsSnapshot `json:"engine"`
+	Jobs         map[State]int    `json:"jobs"`
+	CacheHits    int64            `json:"cache_hits"`
+	CacheMisses  int64            `json:"cache_misses"`
+	CacheEntries int              `json:"cache_entries"`
+	BlockCache   blockstore.Stats `json:"block_cache"`
+	Engine       MetricsSnapshot  `json:"engine"`
 }
 
 // Metrics snapshots the service-wide view.
@@ -389,10 +418,15 @@ func (s *Scheduler) Metrics() ServiceMetrics {
 		Jobs:         counts,
 		CacheHits:    s.cacheHits.Load(),
 		CacheMisses:  s.cacheMisses.Load(),
-		CacheEntries: s.cache.Len(),
+		CacheEntries: s.store.Len(),
+		BlockCache:   s.store.Stats(),
 		Engine:       SnapshotOf(s.agg),
 	}
 }
+
+// BlockStore exposes the scheduler's content-addressed result store
+// (shared with whatever components the owner wired it into).
+func (s *Scheduler) BlockStore() *blockstore.Store { return s.store }
 
 // Close stops accepting submissions, drains the queue and waits for
 // running jobs to finish.
@@ -468,6 +502,10 @@ func (s *Scheduler) runJob(job *Job) {
 	key := job.key
 	job.mu.Unlock()
 	if publish {
-		s.cache.Put(key, res)
+		s.store.Put(jobEntryKey(key), res, resultBytes(res))
 	}
 }
+
+// jobEntryKey namespaces a whole-job result inside the shared store,
+// alongside the per-block entries the engines record.
+func jobEntryKey(cacheKey string) string { return "job|" + cacheKey }

@@ -72,8 +72,13 @@ func TestSchedulerCacheHit(t *testing.T) {
 		t.Error("cache hit did not share the stored result")
 	}
 	m := s.Metrics()
-	if m.CacheHits != 1 || m.CacheMisses != 1 || m.CacheEntries != 1 {
+	if m.CacheHits != 1 || m.CacheMisses != 1 {
 		t.Errorf("cache accounting: %+v", m)
+	}
+	// The store holds the whole-job entry plus the run's block entries:
+	// Count=3 at n1=1 is 6 triangular blocks.
+	if m.CacheEntries != 7 {
+		t.Errorf("store entries = %d, want 7 (1 job + 6 blocks)", m.CacheEntries)
 	}
 
 	// A different engine is a different submission: it must run.
@@ -129,7 +134,7 @@ func TestSchedulerCacheHitAcrossMethods(t *testing.T) {
 	if got := s.Metrics().Engine.Tasks; got != tasksAfterFirst {
 		t.Errorf("cache hits re-ran engine tasks: %d -> %d", tasksAfterFirst, got)
 	}
-	if m := s.Metrics(); m.CacheHits != 3 || m.CacheMisses != 1 || m.CacheEntries != 1 {
+	if m := s.Metrics(); m.CacheHits != 3 || m.CacheMisses != 1 || m.CacheEntries != 7 {
 		t.Errorf("cache accounting: %+v", m)
 	}
 }
@@ -326,22 +331,35 @@ func TestSchedulerJobTableBounded(t *testing.T) {
 	}
 }
 
-func TestCacheLRUEviction(t *testing.T) {
-	c := NewCache(2)
-	a, b, d := &Result{}, &Result{}, &Result{}
-	c.Put("a", a)
-	c.Put("b", b)
-	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
-		t.Fatal("a missing")
+// Whole-job entries live in the shared block store and are evicted by
+// its byte budget: with a budget too small for two job results plus
+// their block entries, the older job's entry goes first, so an
+// identical resubmission of the newest job still hits while the oldest
+// must rerun (possibly rebuilding from whatever block entries remain).
+func TestJobEntryEvictionByByteBudget(t *testing.T) {
+	s := NewScheduler(DefaultRegistry(), Options{Workers: 1, CacheBytes: 1})
+	defer s.Close()
+	first, err := s.Submit(validPSASpec())
+	if err != nil {
+		t.Fatal(err)
 	}
-	c.Put("d", d)
-	if _, ok := c.Get("b"); ok {
-		t.Error("LRU entry not evicted")
+	waitTerminal(t, first)
+	// A 1-byte budget rejects every entry (each is larger than the whole
+	// budget), so nothing is cached and resubmission is a miss.
+	second, err := s.Submit(validPSASpec())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, ok := c.Get("a"); !ok {
-		t.Error("recently used entry evicted")
+	if st := waitTerminal(t, second); st.CacheHit {
+		t.Fatal("entry cached despite a budget smaller than any entry")
 	}
-	if c.Len() != 2 {
-		t.Errorf("len = %d", c.Len())
+	m := s.Metrics()
+	// Zero-byte entries (the 1×1 diagonal blocks have no pairs) may
+	// remain; anything with actual payload must have been refused.
+	if m.BlockCache.Bytes != 0 {
+		t.Errorf("store retained payload bytes over budget: %+v", m.BlockCache)
+	}
+	if m.CacheHits != 0 || m.CacheMisses != 2 {
+		t.Errorf("cache accounting: hits=%d misses=%d", m.CacheHits, m.CacheMisses)
 	}
 }

@@ -99,11 +99,10 @@ func RunDask(client *dask.Client, approach Approach, coords []linalg.Vec3, cutof
 					if o.cancelled() {
 						return []partialOut{{}}, nil
 					}
-					edges := blockEdges(coords, b, cutoff, useTree)
-					comps := graph.PartialComponents(edges)
-					atomic.AddInt64(&edgeCount, int64(len(edges)))
-					atomic.AddInt64(&shuffleBytes, graph.ComponentBytes(comps))
-					return []partialOut{{Comps: comps, Edges: int64(len(edges))}}, nil
+					tp := o.tilePartial(coords, b, cutoff, useTree)
+					atomic.AddInt64(&edgeCount, tp.Edges)
+					atomic.AddInt64(&shuffleBytes, graph.ComponentBytes(tp.Comps))
+					return []partialOut{{Comps: tp.Comps, Edges: tp.Edges}}, nil
 				})
 		}
 		bag := dask.BagFromDelayed[partialOut](client, parts)

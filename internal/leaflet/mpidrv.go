@@ -84,11 +84,10 @@ func RunMPI(ranks int, approach Approach, coords []linalg.Vec3, cutoff float64, 
 					break
 				}
 				start := time.Now()
-				edges := blockEdges(coords, blocks[i], cutoff, useTree)
+				tp := o.tilePartial(coords, blocks[i], cutoff, useTree)
 				o.recordTask(start)
-				comps := graph.PartialComponents(edges)
-				local.Comps = mergePartialSets(local.Comps, comps)
-				local.Edges += int64(len(edges))
+				local.Comps = mergePartialSets(local.Comps, tp.Comps)
+				local.Edges += tp.Edges
 			}
 			localBytes := graph.ComponentBytes(local.Comps)
 			shuffleBytes := mpi.Allreduce(c, localBytes, 8, func(a, b int64) int64 { return a + b })

@@ -3,6 +3,7 @@ package leaflet
 import (
 	"time"
 
+	"mdtask/internal/blockstore"
 	"mdtask/internal/engine"
 )
 
@@ -13,6 +14,15 @@ type Option func(*runOpts)
 type runOpts struct {
 	cancel  func() bool
 	metrics *engine.Metrics
+
+	// Tile cache (WithBlockCache): the content-addressed store the
+	// Parallel-CC / Tree-Search tile bodies consult, the coordinate
+	// digest tiles are keyed under, and the sink cache accounting goes
+	// to (distinct from metrics, which only RunMPI routes task timing
+	// through).
+	store        *blockstore.Store
+	coordsDigest string
+	cacheMetrics *engine.Metrics
 }
 
 func (o runOpts) cancelled() bool { return o.cancel != nil && o.cancel() }

@@ -71,11 +71,10 @@ func RunRDD(ctx *rdd.Context, approach Approach, coords []linalg.Vec3, cutoff fl
 			if o.cancelled() {
 				return partialOut{}, nil
 			}
-			edges := blockEdges(coords, b, cutoff, useTree)
-			comps := graph.PartialComponents(edges)
-			atomic.AddInt64(&edgeCount, int64(len(edges)))
-			atomic.AddInt64(&shuffleBytes, graph.ComponentBytes(comps))
-			return partialOut{Comps: comps, Edges: int64(len(edges))}, nil
+			tp := o.tilePartial(coords, b, cutoff, useTree)
+			atomic.AddInt64(&edgeCount, tp.Edges)
+			atomic.AddInt64(&shuffleBytes, graph.ComponentBytes(tp.Comps))
+			return partialOut{Comps: tp.Comps, Edges: tp.Edges}, nil
 		})
 		merged, err := rdd.Reduce(partials, func(a, b partialOut) partialOut {
 			return partialOut{Comps: mergePartialSets(a.Comps, b.Comps), Edges: a.Edges + b.Edges}

@@ -1,0 +1,53 @@
+package psa
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+
+	"mdtask/internal/traj"
+)
+
+// errIncompleteBlock marks a block whose kernel loop was cancelled
+// before covering every pair: its zero-filled values satisfy the
+// caller's shape contract but must never be recorded in the block
+// store, where another job could observe them.
+var errIncompleteBlock = errors.New("psa: block cancelled before completion")
+
+// BlockKey returns the content address of one block's values: the
+// layout (rectangular, or the triangle-packed diagonal of a symmetric
+// schedule) and the content digests of the trajectories in the block's
+// row and column ranges, in order. Absolute matrix coordinates are
+// deliberately excluded, so the same trajectories hit the same entry
+// wherever a schedule places them — the property that lets a job
+// sharing K of N trajectories with cached work recompute only blocks
+// involving new content. Method, full-matrix, and frame-residency
+// options are likewise excluded: every Hausdorff method is exact and
+// the streamed kernel is bit-identical to the in-memory one, so a
+// block's values depend only on content and layout.
+func BlockKey(refs traj.RefEnsemble, b Block, symmetric bool) (string, error) {
+	h := sha256.New()
+	layout := "rect"
+	if symmetric && b.Diagonal() {
+		layout = "tri"
+	}
+	h.Write([]byte("psa-block|" + layout))
+	for i := b.I0; i < b.I1; i++ {
+		d, err := refs[i].Digest()
+		if err != nil {
+			return "", err
+		}
+		h.Write([]byte("|r" + d))
+	}
+	for j := b.J0; j < b.J1; j++ {
+		d, err := refs[j].Digest()
+		if err != nil {
+			return "", err
+		}
+		h.Write([]byte("|c" + d))
+	}
+	return "psa|" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// blockValueBytes sizes a cached block payload ([]float64 values).
+func blockValueBytes(v any) int64 { return int64(len(v.([]float64))) * 8 }

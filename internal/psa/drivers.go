@@ -145,6 +145,40 @@ func RunPilotRefs(p *pilot.Pilot, refs traj.RefEnsemble, n1 int, opts Opts) (*Ma
 	if err != nil {
 		return nil, err
 	}
+	// Block-cache prefilter: hits are resolved client-side before any
+	// staging, so a cached block costs no blobs, no unit, no sandbox
+	// round-trip. Units themselves run uncached (the sandbox boundary is
+	// the point of the pilot model); the client records their completed
+	// results afterwards.
+	results := make([]BlockResult, len(blocks))
+	var keys []string
+	if opts.Cache != nil {
+		keys = make([]string, len(blocks))
+		for i, b := range blocks {
+			k, kerr := BlockKey(refs, b, opts.Symmetric)
+			if kerr != nil {
+				keys = nil // undigestable ref: run the whole schedule uncached
+				break
+			}
+			keys[i] = k
+		}
+	}
+	missing := make([]int, 0, len(blocks))
+	for i := range blocks {
+		if keys != nil {
+			if v, ok := opts.Cache.Get(keys[i]); ok {
+				vals := v.([]float64)
+				opts.recordBlockCache(1, 0, int64(len(vals))*8)
+				results[i] = BlockResult{Block: blocks[i], Values: vals, Symmetric: opts.Symmetric}
+				continue
+			}
+			opts.recordBlockCache(0, 1, 0)
+		}
+		missing = append(missing, i)
+	}
+	if len(missing) == 0 {
+		return Assemble(len(refs), results), nil
+	}
 	// Serialize each trajectory once; units stage only what they read.
 	// The symmetric schedule drops every lower-triangle mirror block, so
 	// each blob shared by a (bi,bj)/(bj,bi) pair is staged once instead
@@ -175,9 +209,9 @@ func RunPilotRefs(p *pilot.Pilot, refs traj.RefEnsemble, n1 int, opts Opts) (*Ma
 		blobs[ix] = bs
 		return bs, nil
 	}
-	descs := make([]pilot.UnitDescription, len(blocks))
-	for bi, b := range blocks {
-		b := b
+	descs := make([]pilot.UnitDescription, len(missing))
+	for di, bi := range missing {
+		b := blocks[bi]
 		inputs := make(map[string][]byte)
 		shapes := make(map[int][2]int) // trajectory → {nAtoms, nFrames}
 		wins := make(map[int]int)      // trajectory → staged window count
@@ -192,7 +226,7 @@ func RunPilotRefs(p *pilot.Pilot, refs traj.RefEnsemble, n1 int, opts Opts) (*Ma
 			shapes[ix] = [2]int{refs[ix].NAtoms(), refs[ix].NFrames()}
 			wins[ix] = len(bs)
 		}
-		descs[bi] = pilot.UnitDescription{
+		descs[di] = pilot.UnitDescription{
 			Name:        fmt.Sprintf("psa-block-%d", bi),
 			InputFiles:  inputs,
 			OutputFiles: []string{"distances.bin", "counters.bin"},
@@ -216,6 +250,7 @@ func RunPilotRefs(p *pilot.Pilot, refs traj.RefEnsemble, n1 int, opts Opts) (*Ma
 				var m engine.Metrics
 				unitOpts := opts
 				unitOpts.Metrics = &m
+				unitOpts.Cache = nil // lookups happened client-side; sandboxes stay isolated
 				br, err := ComputeBlockRefs(unitRefs, b, unitOpts)
 				if err != nil {
 					return err
@@ -237,8 +272,8 @@ func RunPilotRefs(p *pilot.Pilot, refs traj.RefEnsemble, n1 int, opts Opts) (*Ma
 	if err := p.Wait(units); err != nil {
 		return nil, err
 	}
-	results := make([]BlockResult, len(units))
-	for i, u := range units {
+	for ui, u := range units {
+		bi := missing[ui]
 		raw, ok := u.Output("distances.bin")
 		if !ok {
 			return nil, fmt.Errorf("psa: unit %d produced no output", u.ID)
@@ -247,7 +282,7 @@ func RunPilotRefs(p *pilot.Pilot, refs traj.RefEnsemble, n1 int, opts Opts) (*Ma
 		if err != nil {
 			return nil, fmt.Errorf("psa: unit %d: %w", u.ID, err)
 		}
-		if want := blocks[i].TaskPairs(opts.Symmetric); len(vals) != want {
+		if want := blocks[bi].TaskPairs(opts.Symmetric); len(vals) != want {
 			return nil, fmt.Errorf("psa: unit %d returned %d values, want %d", u.ID, len(vals), want)
 		}
 		rawKC, ok := u.Output("counters.bin")
@@ -260,7 +295,13 @@ func RunPilotRefs(p *pilot.Pilot, refs traj.RefEnsemble, n1 int, opts Opts) (*Ma
 		}
 		opts.recordKernel(kc)
 		opts.recordStream(st)
-		results[i] = BlockResult{Block: blocks[i], Values: vals, Symmetric: opts.Symmetric}
+		results[bi] = BlockResult{Block: blocks[bi], Values: vals, Symmetric: opts.Symmetric}
+		if keys != nil && !opts.cancelled() {
+			// A completed unit's values are a full kernel result; record
+			// them. After a cancellation request units zero-fill instead,
+			// so nothing may be recorded.
+			opts.Cache.Put(keys[bi], vals, int64(len(vals))*8)
+		}
 	}
 	return Assemble(len(refs), results), nil
 }

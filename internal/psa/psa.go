@@ -7,8 +7,10 @@
 package psa
 
 import (
+	"errors"
 	"fmt"
 
+	"mdtask/internal/blockstore"
 	"mdtask/internal/engine"
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/traj"
@@ -63,6 +65,15 @@ type Opts struct {
 	// trajectory of each comparison once per outer window, which the
 	// BytesStreamed metric accounts. Zero keeps the fully-resident path.
 	MaxResidentFrames int
+	// Cache, when non-nil, is the content-addressed block store every
+	// task body consults before running its kernel: a block whose key
+	// (BlockKey: layout × trajectory content digests) is already stored
+	// skips its kernel entirely and counts a BlockCacheHits metric, and
+	// a freshly computed complete block is recorded for later jobs.
+	// Concurrent identical blocks are computed once (single flight), and
+	// cancelled blocks are never recorded. Nil keeps the uncached path —
+	// the one-shot CLI default.
+	Cache *blockstore.Store
 }
 
 // streaming reports whether the windowed out-of-core kernel is
@@ -87,6 +98,14 @@ func (o Opts) recordKernel(c hausdorff.Counters) {
 
 // cancelled reports whether a cooperative cancellation was requested.
 func (o Opts) cancelled() bool { return o.Cancel != nil && o.Cancel() }
+
+// recordBlockCache folds block-store lookup accounting into the metrics
+// sink.
+func (o Opts) recordBlockCache(hits, misses, bytesSaved int64) {
+	if o.Metrics != nil {
+		o.Metrics.AddBlockCache(hits, misses, bytesSaved)
+	}
+}
 
 // Block is one task of the 2-D partitioning: the sub-matrix
 // [I0,I1) × [J0,J1) of the output distance matrix (Algorithm 2: an
@@ -216,9 +235,60 @@ func ComputeBlock(ens traj.Ensemble, b Block, opts Opts) BlockResult {
 // in-memory kernels run. Cancellation is polled between comparisons;
 // the remaining values of a cancelled block are left zero, matching
 // ComputeBlock's contract.
+//
+// With opts.Cache set the block store is consulted first: on a hit the
+// stored values are returned without running any kernel (no frame-pair
+// counters accrue; BlockCacheHits does); on a miss the block computes
+// under single-flight de-duplication and, if it ran to completion, is
+// recorded for later lookups. Cancelled (zero-filled) blocks are never
+// recorded.
 func ComputeBlockRefs(refs traj.RefEnsemble, b Block, opts Opts) (BlockResult, error) {
-	vals := make([]float64, 0, b.TaskPairs(opts.Symmetric))
 	res := BlockResult{Block: b, Symmetric: opts.Symmetric}
+	if opts.Cache != nil {
+		if key, kerr := BlockKey(refs, b, opts.Symmetric); kerr == nil {
+			val, hit, err := opts.Cache.Do(key, blockValueBytes, func() (any, error) {
+				vals, complete, cerr := computeBlockVals(refs, b, opts)
+				if cerr != nil {
+					return nil, cerr
+				}
+				if !complete {
+					return vals, errIncompleteBlock
+				}
+				return vals, nil
+			})
+			switch {
+			case errors.Is(err, errIncompleteBlock):
+				// Cancelled mid-block: pass the zero-filled values through
+				// uncached, as the contract above requires.
+			case err != nil:
+				return BlockResult{}, err
+			}
+			vals := val.([]float64)
+			if hit {
+				opts.recordBlockCache(1, 0, int64(len(vals))*8)
+			} else {
+				opts.recordBlockCache(0, 1, 0)
+			}
+			res.Values = vals
+			return res, nil
+		}
+		// A ref that cannot be digested (e.g. an unreadable source) still
+		// computes; the kernel will surface any real I/O error itself.
+	}
+	vals, _, err := computeBlockVals(refs, b, opts)
+	if err != nil {
+		return BlockResult{}, err
+	}
+	res.Values = vals
+	return res, nil
+}
+
+// computeBlockVals runs the block's kernel loop, reporting whether every
+// pair was covered (complete=false means cancellation zero-filled the
+// tail, which downstream shape checks still accept but the block store
+// must not record).
+func computeBlockVals(refs traj.RefEnsemble, b Block, opts Opts) (vals []float64, complete bool, err error) {
+	vals = make([]float64, 0, b.TaskPairs(opts.Symmetric))
 	var (
 		kc hausdorff.Counters
 		st hausdorff.StreamStats
@@ -254,32 +324,30 @@ func ComputeBlockRefs(refs traj.RefEnsemble, b Block, opts Opts) (BlockResult, e
 			if opts.cancelled() {
 				// Zero-fill the rest so downstream shape checks hold; the
 				// job layer discards the matrix of a cancelled run.
-				res.Values = append(vals, make([]float64, b.TaskPairs(opts.Symmetric)-len(vals))...)
-				return res, nil
+				return append(vals, make([]float64, b.TaskPairs(opts.Symmetric)-len(vals))...), false, nil
 			}
 			var d float64
 			if opts.streaming() {
 				var err error
 				d, err = hausdorff.DistanceStreamed(refs[i], refs[j], opts.MaxResidentFrames, opts.Method, &kc, &st)
 				if err != nil {
-					return BlockResult{}, err
+					return nil, false, err
 				}
 			} else {
 				ti, err := load(i)
 				if err != nil {
-					return BlockResult{}, err
+					return nil, false, err
 				}
 				tj, err := load(j)
 				if err != nil {
-					return BlockResult{}, err
+					return nil, false, err
 				}
 				d = hausdorff.DistanceCounted(ti, tj, opts.Method, &kc)
 			}
 			vals = append(vals, d)
 		}
 	}
-	res.Values = vals
-	return res, nil
+	return vals, true, nil
 }
 
 // Assemble writes block results into the full matrix, mirroring

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 )
 
 // Ref is a windowed handle to one trajectory: its identity and shape
@@ -19,6 +20,13 @@ type Ref struct {
 	nFrames int
 	mem     *Trajectory
 	open    Opener
+
+	// Content digest, computed lazily by Digest and cached: the block
+	// cache keys every ref it sees, so the (possibly streaming) hash
+	// pass must run at most once per ref.
+	digestOnce sync.Once
+	digest     string
+	digestErr  error
 }
 
 // MemRef wraps a loaded trajectory.

@@ -1,0 +1,114 @@
+#!/bin/sh
+# smoke_cache.sh — CI smoke for the per-block content-addressed result
+# store.
+#
+# Boots mdserver, runs a synth PSA job, then resubmits the same job
+# grown by one trajectory and asserts — over the real HTTP API — that
+# the delta submission recomputed only the new row/column blocks:
+#
+#   1. the base job (4 trajectories, n1=1 → 10 triangular blocks)
+#      misses every block lookup;
+#   2. the grown job (5 trajectories → 15 blocks) hits the 10 shared
+#      blocks and computes exactly the 5 missing ones, evaluating only
+#      the new trajectory's 4 comparisons (4 × 2F² = 128 directed
+#      frame pairs at F=4);
+#   3. /v1/metrics reports the same story service-wide: 10 block hits,
+#      17 store entries (15 blocks + 2 whole-job results), bytes saved.
+#
+# The single trap reaps the server on any exit path, so an assertion
+# failure can never leak an mdserver onto a CI runner's port.
+set -eu
+
+PORT="${SMOKE_CACHE_PORT:-18079}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+    status=$?
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+    if [ "$status" -ne 0 ]; then
+        echo "smoke-cache: FAILED (see above)" >&2
+    fi
+    exit "$status"
+}
+trap cleanup EXIT INT TERM HUP
+
+echo "smoke-cache: building mdserver"
+go build -o "$BIN/mdserver" ./cmd/mdserver
+
+"$BIN/mdserver" -addr "127.0.0.1:$PORT" -workers 1 >"$BIN/mdserver.log" 2>&1 &
+SERVER_PID=$!
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && { echo "smoke-cache: mdserver never became healthy" >&2; exit 1; }
+    sleep 0.1
+done
+
+submit() { # submit <count> -> job id
+    curl -fsS -X POST "$BASE/v1/jobs" \
+        -d "{\"analysis\":\"psa\",\"engine\":\"serial\",\"tasks\":64,\"synth\":{\"count\":$1,\"atoms\":8,\"frames\":4,\"seed\":42}}" |
+        jq -r .id
+}
+
+wait_done() { # wait_done <id>
+    _i=0
+    while :; do
+        _state="$(curl -fsS "$BASE/v1/jobs/$1" | jq -r .state)"
+        [ "$_state" = "done" ] && return 0
+        case "$_state" in
+        failed | cancelled)
+            echo "smoke-cache: job $1 ended $_state" >&2
+            curl -fsS "$BASE/v1/jobs/$1" >&2 || true
+            return 1
+            ;;
+        esac
+        _i=$((_i + 1))
+        [ "$_i" -ge 300 ] && { echo "smoke-cache: job $1 stuck in $_state" >&2; return 1; }
+        sleep 0.1
+    done
+}
+
+assert_eq() { # assert_eq <label> <got> <want>
+    if [ "$2" != "$3" ]; then
+        echo "smoke-cache: $1 = $2, want $3" >&2
+        exit 1
+    fi
+}
+
+echo "smoke-cache: running the 4-trajectory base job"
+BASE_ID="$(submit 4)"
+wait_done "$BASE_ID"
+BASE_JOB="$(curl -fsS "$BASE/v1/jobs/$BASE_ID")"
+assert_eq "base block_cache_hits" "$(echo "$BASE_JOB" | jq -r .metrics.block_cache_hits)" 0
+assert_eq "base block_cache_misses" "$(echo "$BASE_JOB" | jq -r .metrics.block_cache_misses)" 10
+
+echo "smoke-cache: resubmitting grown by one trajectory"
+GROWN_ID="$(submit 5)"
+wait_done "$GROWN_ID"
+GROWN_JOB="$(curl -fsS "$BASE/v1/jobs/$GROWN_ID")"
+assert_eq "delta block_cache_hits" "$(echo "$GROWN_JOB" | jq -r .metrics.block_cache_hits)" 10
+assert_eq "delta block_cache_misses" "$(echo "$GROWN_JOB" | jq -r .metrics.block_cache_misses)" 5
+assert_eq "delta pairs_evaluated" "$(echo "$GROWN_JOB" | jq -r .metrics.pairs_evaluated)" 128
+
+RATIO="$(echo "$GROWN_JOB" | jq -r .block_hit_ratio)"
+case "$RATIO" in
+0.66*) ;;
+*)
+    echo "smoke-cache: delta block_hit_ratio = $RATIO, want 10/15" >&2
+    exit 1
+    ;;
+esac
+
+METRICS="$(curl -fsS "$BASE/v1/metrics")"
+assert_eq "service block_cache.hits" "$(echo "$METRICS" | jq -r .block_cache.hits)" 10
+assert_eq "service block_cache.entries" "$(echo "$METRICS" | jq -r .block_cache.entries)" 17
+SAVED="$(echo "$METRICS" | jq -r .block_cache.bytes_saved)"
+[ "$SAVED" -gt 0 ] 2>/dev/null || { echo "smoke-cache: bytes_saved = $SAVED, want > 0" >&2; exit 1; }
+
+echo "smoke-cache: delta submission recomputed only the new row (10 hits, 5 misses, 128 pairs)"
+echo "smoke-cache: OK"
