@@ -4,7 +4,7 @@ SMOKE_PORT ?= 18077
 BENCH_CURRENT ?= /tmp/mdtask-bench-current.json
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json bench-gate fmt vet serve smoke-serve smoke-fleet smoke-stream smoke-cache fuzz race
+.PHONY: build test bench bench-json bench-gate fmt vet serve smoke-serve smoke-fleet smoke-stream smoke-cache smoke-obs fuzz race
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,15 @@ smoke-fleet:
 # scripts/smoke_cache.sh).
 smoke-cache:
 	sh scripts/smoke_cache.sh
+
+# CI smoke for the observability layer: mdserver + 2 external
+# mdworkers with /metrics listeners; both expositions must parse, the
+# POST /v1/jobs counters must equal the submissions made, and the
+# fleet job's Chrome trace must span both processes with every
+# worker-side kernel span parented under a coordinator-side lease
+# span (see scripts/smoke_obs.sh).
+smoke-obs:
+	sh scripts/smoke_obs.sh
 
 # CI smoke for out-of-core streaming: an ensemble whose loaded payload
 # exceeds the streamed child's RSS budget must run to completion with

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"mdtask/internal/obs"
 )
 
 // benchFile mirrors the layout internal/bench's TestWriteBenchPSAJSON
@@ -69,8 +71,13 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_psa.json", "committed baseline JSON")
 		currentPath  = flag.String("current", "", "freshly recorded JSON to gate")
 		tol          = flag.Float64("tol", 0.02, "allowed relative slack on evaluated pairs (and absolute slack on pruned fraction)")
+		version      = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("benchgate", obs.Version())
+		return
+	}
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
 		os.Exit(2)

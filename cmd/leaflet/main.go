@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mdtask/internal/jobs"
+	"mdtask/internal/obs"
 	"mdtask/internal/synth"
 )
 
@@ -32,8 +33,13 @@ func main() {
 		cutoff   = flag.Float64("cutoff", synth.BilayerCutoff, "neighbor cutoff (Å)")
 		parallel = flag.Int("parallel", 0, "worker/rank count (0: automatic)")
 		tasks    = flag.Int("tasks", 1024, "map task count")
+		version  = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("leaflet", obs.Version())
+		return
+	}
 	// Reject unknown selector values at flag-parse time, before any input
 	// is loaded or a run starts; the errors list the valid values.
 	if err := validateFlags(*engine, *approach); err != nil {

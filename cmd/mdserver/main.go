@@ -20,10 +20,17 @@
 //	GET    /v1/jobs/{id}         status + progress + metrics
 //	GET    /v1/jobs/{id}/result  result of a done job
 //	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/jobs/{id}/trace   job trace as Chrome trace_event JSON
 //	GET    /v1/metrics           service-wide metrics
+//	GET    /metrics              Prometheus text exposition
 //	GET    /healthz              liveness probe
 //	POST   /v1/workers[...]      fleet worker protocol (see internal/fleet)
 //	GET    /v1/fleet             fleet coordinator stats
+//
+// Observability: -trace=off disables span collection (metrics stay
+// on), -debug-addr serves net/http/pprof on a side listener,
+// -log-format selects text or JSON structured access logs, and
+// -version prints the build identity.
 //
 // Example:
 //
@@ -37,8 +44,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served at -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +56,7 @@ import (
 	"mdtask/internal/blockstore"
 	"mdtask/internal/fleet"
 	"mdtask/internal/jobs"
+	"mdtask/internal/obs"
 )
 
 func main() {
@@ -61,13 +71,25 @@ func main() {
 		leaseTTL     = flag.Duration("fleet-lease-ttl", 15*time.Second, "fleet work-unit lease before requeue")
 		hbTTL        = flag.Duration("fleet-heartbeat-ttl", 5*time.Second, "fleet worker silence before its leases requeue")
 		sweep        = flag.Duration("fleet-sweep", 500*time.Millisecond, "fleet failure-detector period")
+
+		trace     = flag.String("trace", "on", "span collection: on|off (metrics are always on)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: disabled)")
+		logFormat = flag.String("log-format", "text", "structured log format: text|json")
+		version   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("mdserver", obs.Version())
+		return
+	}
 	cfg := serverConfig{
 		addr: *addr, workers: *workers, queue: *queue, retain: *retain,
 		cacheBytes:   *cacheBytes,
 		fleetWorkers: *fleetWorkers,
 		fleetOpts:    fleet.Options{LeaseTTL: *leaseTTL, HeartbeatTTL: *hbTTL, SweepEvery: *sweep},
+		traceOn:      *trace != "off",
+		debugAddr:    *debugAddr,
+		logFormat:    *logFormat,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -84,6 +106,9 @@ type serverConfig struct {
 	cacheBytes             int64
 	fleetWorkers           int
 	fleetOpts              fleet.Options
+	traceOn                bool
+	debugAddr              string
+	logFormat              string
 	// onReady, when non-nil, receives the bound listen address once the
 	// server is accepting requests (test hook).
 	onReady func(net.Addr)
@@ -104,17 +129,20 @@ func selfURL(addr net.Addr) (string, error) {
 	return "http://" + net.JoinHostPort(host, port), nil
 }
 
-// buildHandler wires the jobs API and the fleet worker protocol into
-// one mux (shared with the in-process server test).
-func buildHandler(sched *jobs.Scheduler, coord *fleet.Coordinator) http.Handler {
+// buildHandler wires the jobs API, the fleet worker protocol, and the
+// Prometheus exposition into one mux (shared with the in-process
+// server test), wrapped in the standard instrumentation middleware
+// (per-endpoint metrics, access log, inbound-traceparent spans).
+func buildHandler(sched *jobs.Scheduler, coord *fleet.Coordinator, logger *slog.Logger) http.Handler {
 	fh := coord.Handler()
 	mux := http.NewServeMux()
 	mux.Handle("/v1/workers", fh)
 	mux.Handle("/v1/workers/", fh)
 	mux.Handle("/v1/fleet", fh)
 	mux.Handle("/v1/fleet/", fh)
+	mux.Handle("/metrics", sched.Obs().Metrics.Handler())
 	mux.Handle("/", jobs.NewServer(sched))
-	return mux
+	return obs.Middleware(mux, sched.Obs(), logger, "mdserver")
 }
 
 // run serves until ctx is cancelled (main cancels on SIGINT/SIGTERM)
@@ -125,8 +153,20 @@ func run(ctx context.Context, cfg serverConfig) error {
 	// entries, and the fleet coordinator's unit prefill/record all share
 	// it, so work cached by any path is visible to every other.
 	store := blockstore.New(cfg.cacheBytes)
+	// One observability bundle spans the process: the scheduler's job
+	// spans, the coordinator's fleet spans (plus the worker spans it
+	// imports), and every metric series share it, so /metrics and
+	// /v1/jobs/{id}/trace each tell the whole story.
+	ob := obs.New("mdserver")
+	if !cfg.traceOn {
+		ob = obs.NoTrace()
+	}
+	obs.RegisterRuntimeMetrics(ob.Metrics)
+	obs.RegisterBuildInfo(ob.Metrics, "mdserver")
+	logger := obs.NewLogger(os.Stderr, cfg.logFormat)
 	fleetOpts := cfg.fleetOpts
 	fleetOpts.BlockStore = store
+	fleetOpts.Tracer = ob.Tracer
 	coord := fleet.NewCoordinator(fleetOpts)
 	defer coord.Close()
 	sched := jobs.NewScheduler(jobs.RegistryWithFleet(coord), jobs.Options{
@@ -134,13 +174,25 @@ func run(ctx context.Context, cfg serverConfig) error {
 		QueueDepth: cfg.queue,
 		BlockStore: store,
 		MaxJobs:    cfg.retain,
+		Obs:        ob,
 	})
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
+	if cfg.debugAddr != "" {
+		dln, derr := net.Listen("tcp", cfg.debugAddr)
+		if derr != nil {
+			return derr
+		}
+		defer dln.Close()
+		// The blank net/http/pprof import registered /debug/pprof on the
+		// default mux; serve it on the side listener only.
+		go func() { _ = http.Serve(dln, http.DefaultServeMux) }()
+		log.Printf("mdserver pprof on %s/debug/pprof/", dln.Addr())
+	}
 	srv := &http.Server{
-		Handler:           buildHandler(sched, coord),
+		Handler:           buildHandler(sched, coord, logger),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -13,18 +13,28 @@
 // SIGINT/SIGTERM stop leasing, let in-flight units finish posting, and
 // deregister gracefully; a hard kill is detected by the coordinator's
 // heartbeat failure detector instead.
+//
+// Observability: -metrics-addr serves GET /metrics (Prometheus text)
+// with per-unit kernel and lease round-trip histograms, -debug-addr
+// serves net/http/pprof, and each executed unit's spans are shipped to
+// the coordinator inside its result, parented under the lease that
+// granted it — one trace covers both processes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served at -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"mdtask/internal/fleet"
+	"mdtask/internal/obs"
 )
 
 func main() {
@@ -33,9 +43,18 @@ func main() {
 		name        = flag.String("name", defaultName(), "worker display name")
 		parallel    = flag.Int("parallel", 1, "concurrent work-unit executors")
 		wait        = flag.Duration("register-wait", 30*time.Second, "how long to retry the initial registration")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text) on this address (empty: disabled)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: disabled)")
+		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
+		version     = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
-	if err := run(*coordinator, *name, *parallel, *wait); err != nil {
+	if *version {
+		fmt.Println("mdworker", obs.Version())
+		return
+	}
+	if err := run(*coordinator, *name, *parallel, *wait, *metricsAddr, *debugAddr, *logFormat); err != nil {
 		fmt.Fprintln(os.Stderr, "mdworker:", err)
 		os.Exit(1)
 	}
@@ -50,13 +69,38 @@ func defaultName() string {
 	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
-func run(coordinator, name string, parallel int, wait time.Duration) error {
+func run(coordinator, name string, parallel int, wait time.Duration, metricsAddr, debugAddr, logFormat string) error {
+	ob := obs.New("mdworker")
+	obs.RegisterRuntimeMetrics(ob.Metrics)
+	obs.RegisterBuildInfo(ob.Metrics, "mdworker")
+	logger := obs.NewLogger(os.Stderr, logFormat)
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer mln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", ob.Metrics.Handler())
+		go func() { _ = http.Serve(mln, obs.Middleware(mux, ob, logger, "mdworker")) }()
+		log.Printf("mdworker metrics on %s/metrics", mln.Addr())
+	}
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dln.Close()
+		go func() { _ = http.Serve(dln, http.DefaultServeMux) }()
+		log.Printf("mdworker pprof on %s/debug/pprof/", dln.Addr())
+	}
 	w, err := fleet.StartWorker(fleet.WorkerOptions{
 		Coordinator:  coordinator,
 		Name:         name,
 		Parallel:     parallel,
 		RegisterWait: wait,
 		Logf:         log.Printf,
+		Obs:          ob,
 	})
 	if err != nil {
 		return err

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"mdtask/internal/jobs"
+	"mdtask/internal/obs"
 	"mdtask/internal/psa"
 )
 
@@ -33,8 +34,13 @@ func main() {
 		clusters = flag.Int("clusters", 0, "also cluster trajectories into k groups (0: off)")
 		sym      = flag.Bool("sym", true, "exploit H(A,B)=H(B,A): schedule only diagonal+upper blocks (-sym=false: paper-faithful full matrix)")
 		maxFr    = flag.Int("max-frames", 0, "stream trajectories as windows of at most this many frames (out-of-core; 0: fully in memory)")
+		version  = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("psa", obs.Version())
+		return
+	}
 	// Reject unknown selector values at flag-parse time, before any input
 	// is loaded or a run starts; the errors list the valid values.
 	if err := validateFlags(*engine, *method); err != nil {

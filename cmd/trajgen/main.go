@@ -14,21 +14,27 @@ import (
 	"os"
 	"path/filepath"
 
+	"mdtask/internal/obs"
 	"mdtask/internal/synth"
 	"mdtask/internal/traj"
 )
 
 func main() {
 	var (
-		kind   = flag.String("kind", "ensemble", "what to generate: ensemble | membrane")
-		size   = flag.String("size", "small", "ensemble preset: small | medium | large")
-		n      = flag.Int("n", 4, "number of trajectories (ensemble)")
-		atoms  = flag.Int("atoms", 131072, "atom count (membrane; overrides the ensemble preset when -frames is also set)")
-		frames = flag.Int("frames", 0, "frames per trajectory (with -atoms, overrides the ensemble preset; 0: preset)")
-		seed   = flag.Uint64("seed", 42, "generator seed")
-		out    = flag.String("out", ".", "output directory")
+		kind    = flag.String("kind", "ensemble", "what to generate: ensemble | membrane")
+		size    = flag.String("size", "small", "ensemble preset: small | medium | large")
+		n       = flag.Int("n", 4, "number of trajectories (ensemble)")
+		atoms   = flag.Int("atoms", 131072, "atom count (membrane; overrides the ensemble preset when -frames is also set)")
+		frames  = flag.Int("frames", 0, "frames per trajectory (with -atoms, overrides the ensemble preset; 0: preset)")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		out     = flag.String("out", ".", "output directory")
+		version = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("trajgen", obs.Version())
+		return
+	}
 	atomsSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "atoms" {

@@ -46,6 +46,8 @@ package blockstore
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // DefaultMaxBytes is the byte budget used when New is given a
@@ -89,6 +91,22 @@ type Store struct {
 	misses     int64
 	bytesSaved int64
 	evictions  int64
+
+	// waitObserver, when set, receives the time each follower of a
+	// single-flight Do spent blocked on another caller's computation —
+	// the contention signal of the store (leaders and plain hits never
+	// wait and are not observed).
+	waitObserver atomic.Pointer[func(time.Duration)]
+}
+
+// SetWaitObserver installs the follower-wait observer (nil clears it).
+// The observability layer points it at a latency histogram.
+func (s *Store) SetWaitObserver(fn func(time.Duration)) {
+	if fn == nil {
+		s.waitObserver.Store(nil)
+		return
+	}
+	s.waitObserver.Store(&fn)
 }
 
 // New returns a store with the given byte budget; non-positive budgets
@@ -179,7 +197,11 @@ func (s *Store) Do(key string, sizeOf func(val any) int64, compute func() (any, 
 		}
 		if f, ok := s.flights[key]; ok {
 			s.mu.Unlock()
+			waitStart := time.Now()
 			<-f.done
+			if fn := s.waitObserver.Load(); fn != nil {
+				(*fn)(time.Since(waitStart))
+			}
 			if f.ok {
 				s.mu.Lock()
 				s.hits++

@@ -11,6 +11,7 @@ import (
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/leaflet"
 	"mdtask/internal/linalg"
+	"mdtask/internal/obs"
 	"mdtask/internal/psa"
 	"mdtask/internal/traj"
 )
@@ -56,6 +57,18 @@ type lease struct {
 	unit     int
 	worker   string
 	deadline time.Time
+	// span is the coordinator-side fleet.lease span, open from grant to
+	// outcome (completed, rejected, requeued, or revoked); nil when
+	// tracing is off.
+	span *obs.Span
+}
+
+// endLocked finishes the lease span with its outcome. Callers hold
+// the coordinator's mu; ending twice no-ops, so every outcome path can
+// call it unconditionally.
+func (l *lease) endLocked(outcome string) {
+	l.span.SetAttr("outcome", outcome)
+	l.span.End()
 }
 
 // NewCoordinator starts a coordinator (and its failure-detector
@@ -130,6 +143,14 @@ type Job struct {
 	remaining int
 	requeues  int64
 
+	// Tracing: span is the fleet.job span (open from admit to finish);
+	// traceParent is the submitter's context it nests under; lastLease
+	// remembers each unit's most recent lease id so a retry's lease
+	// span can carry a requeue_of link to the grant it replaces.
+	span        *obs.Span
+	traceParent obs.SpanContext
+	lastLease   []string
+
 	finished bool
 	err      error
 	doneCh   chan struct{}
@@ -192,6 +213,11 @@ func (j *Job) finishLocked(err error) {
 	j.finished = true
 	j.err = err
 	j.pending = nil
+	if err != nil {
+		j.span.SetAttr("error", err.Error())
+	}
+	j.span.SetAttrInt("requeues", j.requeues)
+	j.span.End()
 	close(j.doneCh)
 }
 
@@ -231,6 +257,9 @@ func (c *Coordinator) SubmitPSARefs(refs traj.RefEnsemble, n1 int, opts psa.Opts
 		results:  make([]psa.BlockResult, len(blocks)),
 		refs:     refs,
 		metrics:  m,
+		// The submitter's span context (the jobs layer's engine.fleet
+		// span) parents the coordinator-side job span.
+		traceParent: opts.TraceParent,
 	}
 	if opts.MaxResidentFrames > 0 {
 		j.window = opts.MaxResidentFrames
@@ -267,7 +296,10 @@ func (c *Coordinator) SubmitPSARefs(refs traj.RefEnsemble, n1 int, opts psa.Opts
 // set: the 2-D tiling of leaflet.Blocks with at most maxTasks tiles,
 // each computing partial connected components (tree selects BallTree
 // edge discovery). Per-unit accounting folds into m as results arrive.
-func (c *Coordinator) SubmitLeaflet(coords []linalg.Vec3, cutoff float64, maxTasks int, tree bool, m *engine.Metrics) (*Job, error) {
+// An optional trailing span context parents the job's trace under the
+// submitter's span (variadic so pre-tracing call sites read unchanged;
+// only the first value is used).
+func (c *Coordinator) SubmitLeaflet(coords []linalg.Vec3, cutoff float64, maxTasks int, tree bool, m *engine.Metrics, parent ...obs.SpanContext) (*Job, error) {
 	if len(coords) == 0 {
 		return nil, fmt.Errorf("fleet: empty coordinate set")
 	}
@@ -285,6 +317,9 @@ func (c *Coordinator) SubmitLeaflet(coords []linalg.Vec3, cutoff float64, maxTas
 		tree:     tree,
 		parts:    make([][]graph.Component, len(tiles)),
 		metrics:  m,
+	}
+	if len(parent) > 0 {
+		j.traceParent = parent[0]
 	}
 	if c.opts.BlockStore != nil {
 		digest := leaflet.CoordsDigest(coords)
@@ -322,6 +357,7 @@ func (c *Coordinator) admit(j *Job, units int) (*Job, error) {
 		j.pending = append(j.pending, i)
 	}
 	j.doneCh = make(chan struct{})
+	j.lastLease = make([]string, units)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -329,6 +365,11 @@ func (c *Coordinator) admit(j *Job, units int) (*Job, error) {
 	}
 	c.jseq++
 	j.id = fmt.Sprintf("fj-%06d", c.jseq)
+	j.span = c.opts.Tracer.StartChild(j.traceParent, "fleet.job")
+	j.span.SetAttr("fleet_job", j.id)
+	j.span.SetAttr("analysis", j.analysis)
+	j.span.SetAttrInt("units", int64(units))
+	j.span.SetAttrInt("units_cached", int64(units-j.remaining))
 	c.jobs[j.id] = j
 	c.jobOrder = append(c.jobOrder, j)
 	if j.remaining == 0 {
@@ -405,6 +446,7 @@ func (c *Coordinator) revokeJobLeasesLocked(j *Job) {
 			if w, ok := c.workers[l.worker]; ok {
 				delete(w.leases, id)
 			}
+			l.endLocked("revoked")
 		}
 	}
 }
@@ -495,6 +537,17 @@ func (c *Coordinator) lease(workerID string) (*Lease, error) {
 			worker:   workerID,
 			deadline: now.Add(c.opts.LeaseTTL),
 		}
+		l.span = c.opts.Tracer.StartChild(j.span.Context(), "fleet.lease")
+		l.span.SetAttr("lease", l.id)
+		l.span.SetAttr("worker", workerID)
+		l.span.SetAttrInt("unit", int64(unit))
+		if prev := j.lastLease[unit]; prev != "" {
+			// This grant retries a unit whose earlier lease was revoked
+			// (expiry or worker death) — link the retry to the original so
+			// a SIGKILL-requeue reads as one causal chain in the trace.
+			l.span.SetAttr("requeue_of", prev)
+		}
+		j.lastLease[unit] = l.id
 		c.leases[l.id] = l
 		w.leases[l.id] = l
 		out := &Lease{
@@ -503,6 +556,9 @@ func (c *Coordinator) lease(workerID string) (*Lease, error) {
 			Unit:           unit,
 			Analysis:       j.analysis,
 			DeadlineMillis: l.deadline.UnixMilli(),
+		}
+		if ctx := l.span.Context(); ctx.Valid() {
+			out.TraceParent = ctx.TraceParent()
 		}
 		switch j.analysis {
 		case AnalysisPSA:
@@ -590,14 +646,23 @@ func (c *Coordinator) complete(workerID string, res UnitResult) error {
 	}
 	j := l.job
 	if j.finished || j.done[l.unit] {
+		l.endLocked("stale")
 		return ErrStaleLease
 	}
+	recSpan := c.opts.Tracer.StartChild(l.span.Context(), "fleet.record")
 	if err := j.recordLocked(l.unit, res); err != nil {
 		// A malformed payload is a worker bug, not lost work: requeue
 		// the unit so a healthy worker redoes it.
+		recSpan.SetAttr("error", err.Error())
+		recSpan.End()
+		l.endLocked("rejected")
 		j.pending = append([]int{l.unit}, j.pending...)
 		return err
 	}
+	// The worker's spans (its kernel span and children) are already
+	// parented under this lease's span; importing them completes the
+	// cross-process trace.
+	c.opts.Tracer.Import(res.Spans)
 	j.done[l.unit] = true
 	j.remaining--
 	c.unitsCompleted++
@@ -619,6 +684,8 @@ func (c *Coordinator) complete(workerID string, res UnitResult) error {
 	j.metrics.AddPairs(res.Counters.Evaluated, res.Counters.Pruned, res.Counters.Abandoned)
 	j.metrics.ObservePeakResident(res.PeakResidentFrames)
 	j.metrics.AddStreamed(res.BytesStreamed)
+	recSpan.End()
+	l.endLocked("completed")
 	if j.remaining == 0 {
 		j.assembleLocked()
 	}
@@ -680,8 +747,10 @@ func (c *Coordinator) requeueLocked(l *lease) {
 	}
 	j := l.job
 	if j.finished || j.done[l.unit] {
+		l.endLocked("stale")
 		return
 	}
+	l.endLocked("requeued")
 	j.pending = append([]int{l.unit}, j.pending...)
 	j.requeues++
 	c.requeues++

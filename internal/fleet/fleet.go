@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"mdtask/internal/blockstore"
+	"mdtask/internal/obs"
 )
 
 // Errors surfaced by the coordinator.
@@ -98,6 +99,14 @@ type Options struct {
 	// blocks computed by in-process engines, earlier fleet jobs, or
 	// other workers are shared. Nil disables unit-level caching.
 	BlockStore *blockstore.Store
+	// Tracer, when set, records the coordinator-side spans of every
+	// job: a fleet.job span per submission, a fleet.lease span per
+	// grant (carrying its outcome, and a requeue_of link when the unit
+	// is a retry of a revoked lease), and a fleet.record span per
+	// accepted result. Worker-shipped spans are imported into it, so
+	// one trace covers both sides of the wire. Nil disables coordinator
+	// tracing.
+	Tracer *obs.Tracer
 }
 
 // withDefaults fills unset options.

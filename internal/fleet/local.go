@@ -5,6 +5,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"mdtask/internal/obs"
 )
 
 // Local is an in-process fleet: a coordinator served over a loopback
@@ -41,10 +43,17 @@ func StartLocal(n int, opts Options) (*Local, error) {
 	}
 	go func() { _ = lf.srv.Serve(ln) }()
 	for i := 0; i < n; i++ {
-		w, err := StartWorker(WorkerOptions{
+		wo := WorkerOptions{
 			Coordinator: lf.URL,
 			Name:        fmt.Sprintf("local-%d", i),
-		})
+		}
+		if opts.Tracer != nil {
+			// A tracing coordinator gets tracing workers, so even an
+			// ephemeral loopback fleet produces complete traces (the
+			// worker-side spans ship back inside each unit result).
+			wo.Obs = obs.New(wo.Name)
+		}
+		w, err := StartWorker(wo)
 		if err != nil {
 			lf.Close()
 			return nil, err

@@ -8,6 +8,7 @@ import (
 
 	"mdtask/internal/graph"
 	"mdtask/internal/linalg"
+	"mdtask/internal/obs"
 	"mdtask/internal/traj"
 )
 
@@ -93,6 +94,11 @@ type Lease struct {
 	// DeadlineMillis is the revocation time as Unix milliseconds
 	// (informative; the coordinator's clock is authoritative).
 	DeadlineMillis int64 `json:"deadline_ms"`
+	// TraceParent is the W3C trace context of the coordinator-side
+	// lease span: a tracing worker parents its kernel span under it, so
+	// the unit's cross-process execution lands in the submitting job's
+	// trace (empty when coordinator tracing is off).
+	TraceParent string `json:"traceparent,omitempty"`
 
 	PSA     *PSAUnit     `json:"psa,omitempty"`
 	Leaflet *LeafletUnit `json:"leaflet,omitempty"`
@@ -129,6 +135,10 @@ type UnitResult struct {
 	BytesStreamed      int64 `json:"bytes_streamed,omitempty"`
 	// ElapsedNS is the unit's wall time on the worker.
 	ElapsedNS int64 `json:"elapsed_ns"`
+	// Spans carries the worker-side spans of the unit (the kernel span
+	// and its children), finished and exported; the coordinator imports
+	// them into its tracer so one job trace covers both processes.
+	Spans []obs.WireSpan `json:"spans,omitempty"`
 }
 
 // StatsView is the JSON body of GET /v1/fleet.

@@ -15,6 +15,7 @@ import (
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/leaflet"
 	"mdtask/internal/linalg"
+	"mdtask/internal/obs"
 	"mdtask/internal/psa"
 	"mdtask/internal/traj"
 )
@@ -35,6 +36,12 @@ type WorkerOptions struct {
 	Client *http.Client
 	// Logf, when non-nil, receives worker lifecycle log lines.
 	Logf func(format string, args ...interface{})
+	// Obs, when non-nil, instruments the worker: kernel spans parented
+	// under each lease's coordinator-side span (shipped back with the
+	// result), a lease round-trip latency histogram, and a block kernel
+	// histogram, all registered on Obs.Metrics (cmd/mdworker serves
+	// them at its own /metrics endpoint).
+	Obs *obs.Obs
 }
 
 // Worker is the pull-based execution agent: it registers with a
@@ -51,6 +58,11 @@ type Worker struct {
 	resp RegisterResponse
 
 	inputs inputCache
+
+	// Observability handles, all nil-safe (unset when o.Obs is nil).
+	tracer     *obs.Tracer
+	leaseHist  *obs.Histogram
+	kernelHist *obs.Histogram
 
 	// UnitsDone counts results the coordinator accepted.
 	UnitsDone atomic.Int64
@@ -81,6 +93,13 @@ func StartWorker(o WorkerOptions) (*Worker, error) {
 		o:    o,
 		base: strings.TrimRight(o.Coordinator, "/"),
 		stop: make(chan struct{}),
+	}
+	if o.Obs != nil {
+		w.tracer = o.Obs.Tracer
+		w.leaseHist = o.Obs.Metrics.Histogram("mdtask_fleet_lease_roundtrip_seconds",
+			"Latency of lease requests to the coordinator, including grants and empty polls.", nil)
+		w.kernelHist = o.Obs.Metrics.Histogram("mdtask_block_kernel_seconds",
+			"Wall time of block kernels (PSA blocks and Leaflet tiles) executed by this worker.", nil)
 	}
 	w.inputs.init(4)
 	deadline := time.Now().Add(o.RegisterWait)
@@ -228,7 +247,7 @@ func (w *Worker) executorLoop() {
 			w.Metrics.RecordFailure()
 			continue
 		}
-		if w.post(res) {
+		if w.post(l.TraceParent, res) {
 			w.UnitsDone.Add(1)
 		}
 	}
@@ -237,7 +256,9 @@ func (w *Worker) executorLoop() {
 // lease pulls one unit; nil means no work available.
 func (w *Worker) lease() (*Lease, error) {
 	id := w.ID()
+	start := time.Now()
 	resp, err := w.o.Client.Post(w.base+"/v1/workers/"+id+"/lease", "application/json", nil)
+	w.leaseHist.Observe(time.Since(start).Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -259,8 +280,28 @@ func (w *Worker) lease() (*Lease, error) {
 }
 
 // execute runs one leased unit with the shared in-process kernels.
-func (w *Worker) execute(l *Lease) (UnitResult, error) {
-	res := UnitResult{Lease: l.Lease, Job: l.Job, Unit: l.Unit}
+// The unit runs inside a worker.kernel span parented under the lease's
+// coordinator-side span (via the lease's traceparent); the finished
+// worker-side spans are taken from the local tracer and shipped back
+// inside the result, so the coordinator can complete the job's trace.
+func (w *Worker) execute(l *Lease) (res UnitResult, err error) {
+	res = UnitResult{Lease: l.Lease, Job: l.Job, Unit: l.Unit}
+	parent, _ := obs.ParseTraceParent(l.TraceParent)
+	span := w.tracer.StartChild(parent, "worker.kernel")
+	span.SetAttr("job", l.Job)
+	span.SetAttr("lease", l.Lease)
+	span.SetAttrInt("unit", int64(l.Unit))
+	span.SetAttr("analysis", l.Analysis)
+	defer func() {
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+		// Failed units never post, so their taken spans are simply
+		// dropped — which also keeps the worker tracer's buffers from
+		// accumulating traces nobody will collect.
+		res.Spans = w.tracer.Take(span.Context().Trace)
+	}()
 	start := time.Now()
 	switch l.Analysis {
 	case AnalysisPSA:
@@ -272,7 +313,10 @@ func (w *Worker) execute(l *Lease) (UnitResult, error) {
 			return res, err
 		}
 		block := psa.Block{I0: l.PSA.I0, I1: l.PSA.I1, J0: l.PSA.J0, J1: l.PSA.J1}
-		opts := psa.Opts{Symmetric: l.PSA.Symmetric, Method: method}
+		opts := psa.Opts{
+			Symmetric: l.PSA.Symmetric, Method: method,
+			Tracer: w.tracer, TraceParent: span.Context(), KernelHist: w.kernelHist,
+		}
 		var m engine.Metrics
 		opts.Metrics = &m
 		var br psa.BlockResult
@@ -280,7 +324,7 @@ func (w *Worker) execute(l *Lease) (UnitResult, error) {
 			// Streamed unit: never download the ensemble — rebuild each
 			// trajectory as a window-by-window fetch from the coordinator
 			// and run the out-of-core kernel (two windows resident).
-			refs, err := w.streamRefs(l)
+			refs, err := w.streamRefs(l, span.Context())
 			if err != nil {
 				return res, err
 			}
@@ -321,7 +365,9 @@ func (w *Worker) execute(l *Lease) (UnitResult, error) {
 		if err := spec.Valid(len(coords)); err != nil {
 			return res, err
 		}
+		kernelStart := time.Now()
 		comps, edges := leaflet.BlockPartial(coords, spec, l.Leaflet.Cutoff, l.Leaflet.Tree)
+		w.kernelHist.Observe(time.Since(kernelStart).Seconds())
 		res.Comps = comps
 		res.Edges = edges
 	default:
@@ -334,13 +380,23 @@ func (w *Worker) execute(l *Lease) (UnitResult, error) {
 }
 
 // post ships a unit result; false means the coordinator rejected it
-// (stale lease — the unit was requeued to someone else).
-func (w *Worker) post(res UnitResult) bool {
+// (stale lease — the unit was requeued to someone else). A non-empty
+// traceparent is forwarded so the coordinator's access log and server
+// span land in the job's trace.
+func (w *Worker) post(traceparent string, res UnitResult) bool {
 	body, err := json.Marshal(res)
 	if err != nil {
 		return false
 	}
-	resp, err := w.o.Client.Post(w.base+"/v1/workers/"+w.ID()+"/results", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, w.base+"/v1/workers/"+w.ID()+"/results", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := w.o.Client.Do(req)
 	if err != nil {
 		return false
 	}
@@ -365,9 +421,19 @@ func (w *Worker) fetchInput(jobID string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
-// fetchWindow downloads one window of one trajectory of a streamed job.
-func (w *Worker) fetchWindow(jobID string, trajIx, win int) ([]byte, error) {
-	resp, err := w.o.Client.Get(fmt.Sprintf("%s/v1/fleet/jobs/%s/input?traj=%d&win=%d", w.base, jobID, trajIx, win))
+// fetchWindow downloads one window of one trajectory of a streamed
+// job, forwarding the unit's traceparent (if any) so the fetch shows
+// up in the job's trace on the coordinator side.
+func (w *Worker) fetchWindow(jobID string, trajIx, win int, traceparent string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s/v1/fleet/jobs/%s/input?traj=%d&win=%d", w.base, jobID, trajIx, win), nil)
+	if err != nil {
+		return nil, err
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := w.o.Client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -380,8 +446,13 @@ func (w *Worker) fetchWindow(jobID string, trajIx, win int) ([]byte, error) {
 
 // streamRefs rebuilds the trajectory handles of a streamed PSA lease:
 // each handle opens as a chain of window fetches, so no more than one
-// window's blob is decoded at a time and nothing is cached.
-func (w *Worker) streamRefs(l *Lease) (traj.RefEnsemble, error) {
+// window's blob is decoded at a time and nothing is cached. Window
+// fetches carry the kernel span's traceparent.
+func (w *Worker) streamRefs(l *Lease, kernel obs.SpanContext) (traj.RefEnsemble, error) {
+	tp := ""
+	if kernel.Valid() {
+		tp = kernel.TraceParent()
+	}
 	maxIx := 0
 	for _, s := range l.PSA.Trajs {
 		if s.Index > maxIx {
@@ -393,7 +464,7 @@ func (w *Worker) streamRefs(l *Lease) (traj.RefEnsemble, error) {
 		s := s
 		nwin := (s.NFrames + l.PSA.Window - 1) / l.PSA.Window
 		r, err := traj.WindowChainRef(s.Name, s.NAtoms, s.NFrames, nwin,
-			func(win int) ([]byte, error) { return w.fetchWindow(l.Job, s.Index, win) })
+			func(win int) ([]byte, error) { return w.fetchWindow(l.Job, s.Index, win, tp) })
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"mdtask/internal/blockstore"
 	"mdtask/internal/fleet"
 	"mdtask/internal/leaflet"
+	"mdtask/internal/obs"
 	"mdtask/internal/psa"
 )
 
@@ -23,12 +24,13 @@ import (
 // already carries the server's block store; an ephemeral loopback
 // fleet is handed the scheduler's store so even one-shot fleet jobs
 // hit and feed the same cache as every other engine.
-func fleetCoordinator(shared *fleet.Coordinator, workers int, store *blockstore.Store) (*fleet.Coordinator, func(), error) {
+func fleetCoordinator(shared *fleet.Coordinator, workers int, store *blockstore.Store, tracer *obs.Tracer) (*fleet.Coordinator, func(), error) {
 	if shared != nil {
 		return shared, func() {}, nil
 	}
 	lo := fleet.LocalOptions()
 	lo.BlockStore = store
+	lo.Tracer = tracer
 	lf, err := fleet.StartLocal(workers, lo)
 	if err != nil {
 		return nil, nil, err
@@ -55,18 +57,22 @@ func psaFleetRunner(shared *fleet.Coordinator) Runner {
 		if rc.Cancelled() {
 			return nil, ErrCancelled
 		}
-		c, cleanup, err := fleetCoordinator(shared, spec.ranks(), rc.BlockStore())
+		engSpan := rc.Tracer().StartChild(rc.TraceParent(), "engine."+EngineFleet)
+		defer engSpan.End()
+		c, cleanup, err := fleetCoordinator(shared, spec.ranks(), rc.BlockStore(), rc.Tracer())
 		if err != nil {
 			return nil, err
 		}
 		defer cleanup()
 		// Cancellation and metrics are coordinator-side concerns, so the
-		// opts carry only what changes the computed values' schedule and
-		// the streaming window.
+		// opts carry only what changes the computed values' schedule, the
+		// streaming window, and the trace the coordinator's fleet.job span
+		// parents under.
 		opts := psa.Opts{
 			Symmetric:         !spec.FullMatrix,
 			Method:            spec.hausdorffMethod(),
 			MaxResidentFrames: spec.MaxResidentFrames,
+			TraceParent:       engSpan.Context(),
 		}
 		job, err := c.SubmitPSARefs(in.Refs, spec.groupSize(len(in.Refs)), opts, rc.Metrics())
 		if err != nil {
@@ -92,13 +98,15 @@ func leafletFleetRunner(shared *fleet.Coordinator) Runner {
 		if err != nil {
 			return nil, err
 		}
-		c, cleanup, err := fleetCoordinator(shared, spec.ranks(), rc.BlockStore())
+		engSpan := rc.Tracer().StartChild(rc.TraceParent(), "engine."+EngineFleet)
+		defer engSpan.End()
+		c, cleanup, err := fleetCoordinator(shared, spec.ranks(), rc.BlockStore(), rc.Tracer())
 		if err != nil {
 			return nil, err
 		}
 		defer cleanup()
 		tree := approach == leaflet.TreeSearch
-		job, err := c.SubmitLeaflet(in.Coords, spec.Cutoff, spec.Tasks, tree, rc.Metrics())
+		job, err := c.SubmitLeaflet(in.Coords, spec.Cutoff, spec.Tasks, tree, rc.Metrics(), engSpan.Context())
 		if err != nil {
 			return nil, err
 		}

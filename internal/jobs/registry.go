@@ -15,6 +15,7 @@ import (
 	"mdtask/internal/fleet"
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/leaflet"
+	"mdtask/internal/obs"
 	"mdtask/internal/pilot"
 	"mdtask/internal/psa"
 	"mdtask/internal/rdd"
@@ -34,6 +35,14 @@ type RunContext struct {
 	cancelled atomic.Bool
 	live      atomic.Pointer[engine.Metrics]
 	store     atomic.Pointer[blockstore.Store]
+
+	// Observability of the run, set by the owner before the runner
+	// starts (the scheduler points obs at its shared bundle and span at
+	// the job's run span; the one-shot CLI path leaves both zero, which
+	// disables tracing). Plain fields: every handoff to the running
+	// goroutine is ordered by the scheduler's queue mutex.
+	obs  *obs.Obs
+	span obs.SpanContext
 }
 
 // NewRunContext returns a context with a fresh metrics sink.
@@ -72,6 +81,30 @@ func (rc *RunContext) SetBlockStore(s *blockstore.Store) {
 
 // BlockStore returns the run's block store, or nil when uncached.
 func (rc *RunContext) BlockStore() *blockstore.Store { return rc.store.Load() }
+
+// SetObs attaches the run's observability bundle and the span context
+// engine-level spans parent under. Must be called before the runner
+// starts; nil o leaves tracing disabled.
+func (rc *RunContext) SetObs(o *obs.Obs, parent obs.SpanContext) {
+	rc.obs = o
+	rc.span = parent
+}
+
+// Obs returns the run's observability bundle, or nil.
+func (rc *RunContext) Obs() *obs.Obs { return rc.obs }
+
+// Tracer returns the run's tracer (nil when tracing is disabled —
+// every method of a nil tracer no-ops).
+func (rc *RunContext) Tracer() *obs.Tracer {
+	if rc.obs == nil {
+		return nil
+	}
+	return rc.obs.Tracer
+}
+
+// TraceParent returns the span context engine spans parent under
+// (zero when tracing is disabled).
+func (rc *RunContext) TraceParent() obs.SpanContext { return rc.span }
 
 // Runner executes one analysis job over already-resolved input and
 // returns its result. Runners must poll rc for cancellation and leave
@@ -221,15 +254,26 @@ func PlannedTasks(spec Spec, in *Input) int {
 func psaRunner(engineName string) Runner {
 	return func(rc *RunContext, spec Spec, in *Input) (*Result, error) {
 		refs := in.Refs
+		// The engine stage span covers scheduling plus every block task;
+		// per-block psa.block spans (and their cache.do children) nest
+		// under it through opts.
+		engSpan := rc.Tracer().StartChild(rc.TraceParent(), "engine."+engineName)
+		defer engSpan.End()
 		opts := psa.Opts{
 			Symmetric:         !spec.FullMatrix,
 			Method:            spec.hausdorffMethod(),
 			Cancel:            rc.Cancelled,
 			MaxResidentFrames: spec.MaxResidentFrames,
+			Tracer:            rc.Tracer(),
+			TraceParent:       engSpan.Context(),
 			// Every task body consults the run's block store (nil on the
 			// uncached one-shot path), so blocks shared with earlier jobs
 			// skip their kernels whatever the engine.
 			Cache: rc.BlockStore(),
+		}
+		if o := rc.Obs(); o != nil {
+			opts.KernelHist = o.Metrics.Histogram("mdtask_block_kernel_seconds",
+				"Wall time of block kernels (PSA blocks and Leaflet tiles).", nil)
 		}
 		if opts.Method == hausdorff.Pruned && opts.MaxResidentFrames == 0 {
 			// Build the packed representation (contiguous frames +
@@ -320,13 +364,15 @@ func leafletRunner(engineName string) Runner {
 			return nil, err
 		}
 		coords, cutoff, tasks := in.Coords, spec.Cutoff, spec.Tasks
+		engSpan := rc.Tracer().StartChild(rc.TraceParent(), "engine."+engineName)
+		defer engSpan.End()
 		cancel := leaflet.WithCancel(rc.Cancelled)
 		// tileOpts wires the run's block store into the tile-parallel
 		// drivers, keyed under the input's content digest, with cache
 		// accounting routed to the engine sink m. The serial and pilot
 		// paths have no per-tile unit and rely on whole-job entries.
 		tileOpts := func(m *engine.Metrics) []leaflet.Option {
-			out := []leaflet.Option{cancel}
+			out := []leaflet.Option{cancel, leaflet.WithTrace(rc.Tracer(), engSpan.Context())}
 			if store := rc.BlockStore(); store != nil {
 				if digest, derr := in.ContentDigest(); derr == nil {
 					out = append(out, leaflet.WithBlockCache(store, digest, m))

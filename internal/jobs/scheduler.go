@@ -9,6 +9,7 @@ import (
 
 	"mdtask/internal/blockstore"
 	"mdtask/internal/engine"
+	"mdtask/internal/obs"
 )
 
 // State is a job lifecycle state: queued → running → done|failed|cancelled.
@@ -55,10 +56,24 @@ type Job struct {
 	result   *Result
 	final    MetricsSnapshot
 	input    *Input // held until the run starts, then released
+
+	// Tracing: the job's root span, its queue.wait child (ended when a
+	// worker picks the job up), and the root's trace id — the handle
+	// GET /v1/jobs/{id}/trace exports. All nil/zero with tracing off.
+	trace     obs.TraceID
+	jobSpan   *obs.Span
+	queueSpan *obs.Span
 }
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// TraceID returns the job's trace id (zero when tracing is off).
+func (j *Job) TraceID() obs.TraceID {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
 
 // Spec returns the job's normalized spec.
 func (j *Job) Spec() Spec { return j.spec }
@@ -84,6 +99,9 @@ type Status struct {
 	// blocks. Zero also when the run made no block lookups.
 	BlockHitRatio float64         `json:"block_hit_ratio"`
 	Metrics       MetricsSnapshot `json:"metrics"`
+	// TraceID is the job's distributed trace id; feed it to
+	// GET /v1/jobs/{id}/trace. Empty when tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Status snapshots the job: state, timing, and metrics — live engine
@@ -109,6 +127,9 @@ func (j *Job) Status() Status {
 	if !j.finished.IsZero() {
 		t := j.finished
 		st.Finished = &t
+	}
+	if !j.trace.IsZero() {
+		st.TraceID = j.trace.String()
 	}
 	if j.state.Terminal() {
 		st.Metrics = j.final
@@ -161,6 +182,12 @@ type Options struct {
 	// status and result — are evicted, after which their ids answer 404.
 	// Queued and running jobs are never evicted.
 	MaxJobs int
+	// Obs, when non-nil, is the observability bundle the scheduler
+	// records into: a root span per job (with queue.wait and run
+	// children, threaded down into the engines), queue-wait/run-time
+	// histograms, job counters, and block-store gauges. Nil falls back
+	// to a metrics-only bundle with tracing disabled.
+	Obs *obs.Obs
 }
 
 // Scheduler owns the job table, the bounded FIFO queue, the worker
@@ -171,6 +198,10 @@ type Scheduler struct {
 	reg   *Registry
 	store *blockstore.Store
 	agg   *engine.Metrics
+
+	obs           *obs.Obs
+	queueWaitHist *obs.Histogram
+	submittedCtr  *obs.Counter
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -203,21 +234,65 @@ func NewScheduler(reg *Registry, o Options) *Scheduler {
 	if store == nil {
 		store = blockstore.New(o.CacheBytes)
 	}
+	ob := o.Obs
+	if ob == nil {
+		ob = obs.NoTrace()
+	}
 	s := &Scheduler{
 		reg:        reg,
 		store:      store,
 		agg:        &engine.Metrics{},
+		obs:        ob,
 		maxJobs:    o.MaxJobs,
 		queueDepth: o.QueueDepth,
 		jobs:       make(map[string]*Job),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.registerMetrics()
 	s.wg.Add(o.Workers)
 	for i := 0; i < o.Workers; i++ {
 		go s.worker()
 	}
 	return s
 }
+
+// registerMetrics wires the scheduler's instruments into its metrics
+// registry: lifecycle histograms and counters, plus read-through
+// gauges over the shared block store's own accounting. The store's
+// single-flight wait observer feeds a histogram of how long follower
+// lookups block on an in-flight leader.
+func (s *Scheduler) registerMetrics() {
+	m := s.obs.Metrics
+	s.queueWaitHist = m.Histogram("mdtask_job_queue_wait_seconds",
+		"Time jobs spend queued before a worker picks them up.", nil)
+	s.submittedCtr = m.Counter("mdtask_jobs_submitted_total",
+		"Jobs admitted by the scheduler (including whole-job cache hits).")
+	waitHist := m.Histogram("mdtask_blockstore_do_wait_seconds",
+		"Time follower block lookups wait on an in-flight leader computing the same key.", nil)
+	s.store.SetWaitObserver(func(d time.Duration) { waitHist.Observe(d.Seconds()) })
+	m.GaugeFunc("mdtask_blockstore_entries",
+		"Entries resident in the content-addressed block store.",
+		func() float64 { return float64(s.store.Stats().Entries) })
+	m.GaugeFunc("mdtask_blockstore_bytes",
+		"Bytes resident in the content-addressed block store.",
+		func() float64 { return float64(s.store.Stats().Bytes) })
+	m.CounterFunc("mdtask_blockstore_hits_total",
+		"Block store lookups answered from cache.",
+		func() float64 { return float64(s.store.Stats().Hits) })
+	m.CounterFunc("mdtask_blockstore_misses_total",
+		"Block store lookups that missed.",
+		func() float64 { return float64(s.store.Stats().Misses) })
+	m.CounterFunc("mdtask_blockstore_evictions_total",
+		"Block store entries evicted under the byte budget.",
+		func() float64 { return float64(s.store.Stats().Evictions) })
+	m.CounterFunc("mdtask_jobs_cache_hits_total",
+		"Submissions answered whole from the job result cache.",
+		func() float64 { return float64(s.cacheHits.Load()) })
+}
+
+// Obs returns the scheduler's observability bundle (never nil; its
+// Tracer is nil when tracing is disabled).
+func (s *Scheduler) Obs() *obs.Obs { return s.obs }
 
 // Submit validates and enqueues a job. The input is resolved (loaded or
 // generated) synchronously so the result cache can be consulted
@@ -284,6 +359,16 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	job.id = fmt.Sprintf("job-%06d", s.seq)
 	s.jobs[job.id] = job
 	s.order = append(s.order, job)
+	s.submittedCtr.Inc()
+	// Root span of the job's trace; everything below — queue wait, the
+	// run, engine stages, blocks, fleet hops — nests under it.
+	job.jobSpan = s.obs.Tracer.StartRoot("job")
+	job.jobSpan.SetAttr("job", job.id)
+	job.jobSpan.SetAttr("analysis", job.spec.Analysis)
+	job.jobSpan.SetAttr("engine", job.spec.Engine)
+	if ctx := job.jobSpan.Context(); ctx.Valid() {
+		job.trace = ctx.Trace
+	}
 	if hitOK {
 		s.cacheHits.Add(1)
 		job.state = StateDone
@@ -291,13 +376,24 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 		job.result = cached.(*Result)
 		job.finished = job.created
 		job.input = nil
+		job.jobSpan.SetAttr("cache_hit", "true")
+		job.jobSpan.SetAttr("state", string(StateDone))
+		job.jobSpan.End()
+		s.jobFinished(StateDone)
 	} else {
 		s.cacheMisses.Add(1)
+		job.queueSpan = s.obs.Tracer.StartChild(job.jobSpan.Context(), "queue.wait")
 		s.pending = append(s.pending, job)
 		s.cond.Signal()
 	}
 	s.pruneLocked()
 	return job, nil
+}
+
+// jobFinished counts one job reaching a terminal state.
+func (s *Scheduler) jobFinished(state State) {
+	s.obs.Metrics.Counter("mdtask_jobs_completed_total",
+		"Jobs reaching a terminal state, by state.", "state", string(state)).Inc()
 }
 
 // pruneLocked evicts the oldest terminal job records beyond MaxJobs so
@@ -366,6 +462,11 @@ func (s *Scheduler) Cancel(id string) (*Job, bool) {
 		j.state = StateCancelled
 		j.finished = time.Now()
 		j.input = nil
+		j.queueSpan.SetAttr("outcome", "cancelled")
+		j.queueSpan.End()
+		j.jobSpan.SetAttr("state", string(StateCancelled))
+		j.jobSpan.End()
+		s.jobFinished(StateCancelled)
 		wasQueued, changed = true, true
 	case StateRunning:
 		j.rc.Cancel()
@@ -467,6 +568,12 @@ func (s *Scheduler) runJob(job *Job) {
 	job.state = StateRunning
 	job.started = time.Now()
 	spec, in := job.spec, job.input
+	s.queueWaitHist.Observe(job.started.Sub(job.created).Seconds())
+	job.queueSpan.End()
+	// The run span parents the runner's engine stage; the runner reaches
+	// it through the RunContext.
+	runSpan := s.obs.Tracer.StartChild(job.jobSpan.Context(), "run")
+	job.rc.SetObs(s.obs, runSpan.Context())
 	job.mu.Unlock()
 
 	var (
@@ -499,8 +606,20 @@ func (s *Scheduler) runJob(job *Job) {
 		job.result = res
 		publish = true
 	}
+	if err != nil {
+		runSpan.SetAttr("error", err.Error())
+	}
+	runSpan.End()
+	job.jobSpan.SetAttr("state", string(job.state))
+	job.jobSpan.End()
+	state := job.state
 	key := job.key
+	runDur := job.finished.Sub(job.started)
 	job.mu.Unlock()
+	s.obs.Metrics.Histogram("mdtask_job_run_seconds",
+		"Wall time of job runs, by analysis and engine.", nil,
+		"analysis", spec.Analysis, "engine", spec.Engine).Observe(runDur.Seconds())
+	s.jobFinished(state)
 	if publish {
 		s.store.Put(jobEntryKey(key), res, resultBytes(res))
 	}

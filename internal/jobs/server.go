@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"mdtask/internal/obs"
 )
 
 // NewServer wraps a scheduler in the mdserver HTTP JSON API:
@@ -14,6 +16,7 @@ import (
 //	GET    /v1/jobs/{id}     job status + progress + metrics → Status
 //	GET    /v1/jobs/{id}/result  result of a done job → Result
 //	DELETE /v1/jobs/{id}     cancel a queued or running job → Status
+//	GET    /v1/jobs/{id}/trace   job trace → Chrome trace_event JSON
 //	GET    /v1/metrics       service-wide metrics → ServiceMetrics
 //	GET    /healthz          liveness probe
 func NewServer(s *Scheduler) http.Handler {
@@ -85,6 +88,29 @@ func NewServer(s *Scheduler) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+			return
+		}
+		trace := job.TraceID()
+		if trace.IsZero() {
+			writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no trace (tracing disabled)", job.ID()))
+			return
+		}
+		spans, dropped := s.Obs().Tracer.Spans(trace)
+		if len(spans) == 0 {
+			writeError(w, http.StatusNotFound, fmt.Errorf("trace %s evicted", trace))
+			return
+		}
+		if dropped > 0 {
+			w.Header().Set("X-Trace-Dropped-Spans", fmt.Sprint(dropped))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(obs.ChromeTrace(spans))
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())

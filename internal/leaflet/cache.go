@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
+	"strconv"
 
 	"mdtask/internal/blockstore"
 	"mdtask/internal/engine"
@@ -75,6 +76,9 @@ func WithBlockCache(store *blockstore.Store, digest string, m *engine.Metrics) O
 // Callers poll cancellation before invoking it: the kernel itself never
 // aborts mid-tile, so any value that reaches the store is complete.
 func (o runOpts) tilePartial(coords []linalg.Vec3, b block, cutoff float64, useTree bool) TilePartial {
+	span := o.tracer.StartChild(o.traceParent, "leaflet.tile")
+	span.SetAttr("tile", fmt.Sprintf("[%d:%d)x[%d:%d)", b.rows.lo, b.rows.hi, b.cols.lo, b.cols.hi))
+	defer span.End()
 	compute := func() TilePartial {
 		edges := blockEdges(coords, b, cutoff, useTree)
 		return TilePartial{Comps: graph.PartialComponents(edges), Edges: int64(len(edges))}
@@ -83,10 +87,13 @@ func (o runOpts) tilePartial(coords []linalg.Vec3, b block, cutoff float64, useT
 		return compute()
 	}
 	key := TileKey(o.coordsDigest, cutoff, useTree, b.rows.lo, b.rows.hi, b.cols.lo, b.cols.hi)
+	doSpan := o.tracer.StartChild(span.Context(), "cache.do")
 	val, hit, _ := o.store.Do(key, tileSizeOf, func() (any, error) {
 		return compute(), nil
 	})
+	doSpan.End()
 	tp := val.(TilePartial)
+	span.SetAttr("cache_hit", strconv.FormatBool(hit))
 	if o.cacheMetrics != nil {
 		if hit {
 			o.cacheMetrics.AddBlockCache(1, 0, tp.SizeBytes())

@@ -5,6 +5,7 @@ import (
 
 	"mdtask/internal/blockstore"
 	"mdtask/internal/engine"
+	"mdtask/internal/obs"
 )
 
 // Option configures a driver run. The zero set of options preserves the
@@ -23,6 +24,11 @@ type runOpts struct {
 	store        *blockstore.Store
 	coordsDigest string
 	cacheMetrics *engine.Metrics
+
+	// Tracing (WithTrace): each tile body records a leaflet.tile span
+	// parented under traceParent.
+	tracer      *obs.Tracer
+	traceParent obs.SpanContext
 }
 
 func (o runOpts) cancelled() bool { return o.cancel != nil && o.cancel() }
@@ -53,3 +59,13 @@ func WithCancel(fn func() bool) Option { return func(o *runOpts) { o.cancel = fn
 // their own metrics-bearing context (RunMPI) into m. The rdd, dask and
 // pilot runners account through their Context/Client/Pilot instead.
 func WithMetrics(m *engine.Metrics) Option { return func(o *runOpts) { o.metrics = m } }
+
+// WithTrace makes each tile body record a leaflet.tile span (with tile
+// bounds and cache outcome) into t, parented under parent. A nil t
+// disables tracing.
+func WithTrace(t *obs.Tracer, parent obs.SpanContext) Option {
+	return func(o *runOpts) {
+		o.tracer = t
+		o.traceParent = parent
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// chrome://tracing and Perfetto load). Spans export as "X" (complete)
+// events; process and lane names as "M" (metadata) events.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the object form of the trace_event format.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders finished spans as Chrome trace_event JSON. Each
+// distinct span Proc becomes one process row; within a process, spans
+// are packed onto the fewest lanes (threads) such that every lane's
+// spans are either disjoint in time or properly nested, which is what
+// the viewers require to stack slices. Span identity and attributes
+// travel in args, so traces remain machine-checkable after export.
+func ChromeTrace(spans []WireSpan) []byte {
+	// Deterministic process numbering: sorted proc names.
+	procs := make(map[string]int)
+	var procNames []string
+	for _, ws := range spans {
+		if _, ok := procs[ws.Proc]; !ok {
+			procs[ws.Proc] = 0
+			procNames = append(procNames, ws.Proc)
+		}
+	}
+	sort.Strings(procNames)
+	for i, name := range procNames {
+		procs[name] = i + 1
+	}
+
+	var events []chromeEvent
+	for _, name := range procNames {
+		pid := procs[name]
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// Per process: sort by start (longer spans first on ties, so a
+	// parent precedes the children sharing its start instant), then
+	// greedily assign lanes that keep slices nested-or-disjoint.
+	byProc := make(map[string][]WireSpan)
+	for _, ws := range spans {
+		byProc[ws.Proc] = append(byProc[ws.Proc], ws)
+	}
+	for _, name := range procNames {
+		pid := procs[name]
+		ps := byProc[name]
+		sort.SliceStable(ps, func(i, j int) bool {
+			if ps[i].Start != ps[j].Start {
+				return ps[i].Start < ps[j].Start
+			}
+			return ps[i].Dur > ps[j].Dur
+		})
+		// lanes[i] is a stack of open end times on lane i.
+		var lanes [][]int64
+		for _, ws := range ps {
+			start, end := ws.Start, ws.Start+ws.Dur
+			lane := -1
+			for li := range lanes {
+				// Pop slices that ended before this span starts.
+				st := lanes[li]
+				for len(st) > 0 && st[len(st)-1] <= start {
+					st = st[:len(st)-1]
+				}
+				lanes[li] = st
+				// Fits if the lane is idle or the top slice contains it.
+				if len(st) == 0 || st[len(st)-1] >= end {
+					lane = li
+					break
+				}
+			}
+			if lane == -1 {
+				lanes = append(lanes, nil)
+				lane = len(lanes) - 1
+			}
+			lanes[lane] = append(lanes[lane], end)
+
+			args := map[string]any{
+				"trace_id": ws.Trace,
+				"span_id":  ws.Span,
+			}
+			if ws.Parent != "" {
+				args["parent_id"] = ws.Parent
+			}
+			for k, v := range ws.Attrs {
+				args[k] = v
+			}
+			events = append(events, chromeEvent{
+				Name: ws.Name,
+				Cat:  "mdtask",
+				Ph:   "X",
+				Pid:  pid,
+				Tid:  lane + 1,
+				Ts:   float64(ws.Start) / 1e3,
+				Dur:  float64(ws.Dur) / 1e3,
+				Args: args,
+			})
+		}
+	}
+
+	out, err := json.Marshal(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+	if err != nil {
+		// The event structs contain only marshalable types.
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// decodeChrome re-parses an export (the same check a viewer does).
+func decodeChrome(t *testing.T, b []byte) chromeFile {
+	t.Helper()
+	var f chromeFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	return f
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	spans := []WireSpan{
+		{Trace: "0102", Span: "aa", Name: "job", Proc: "mdserver", Start: 1000, Dur: 9000,
+			Attrs: map[string]string{"engine": "fleet"}},
+		{Trace: "0102", Span: "bb", Parent: "aa", Name: "run", Proc: "mdserver", Start: 2000, Dur: 7000},
+		{Trace: "0102", Span: "cc", Parent: "bb", Name: "worker.kernel", Proc: "mdworker", Start: 3000, Dur: 4000},
+	}
+	f := decodeChrome(t, ChromeTrace(spans))
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms", f.DisplayTimeUnit)
+	}
+	var meta, complete int
+	procNames := map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			procNames[ev.Args["name"].(string)] = true
+		case "X":
+			complete++
+			if ev.Args["trace_id"] != "0102" {
+				t.Errorf("event %q lost its trace id args", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || !procNames["mdserver"] || !procNames["mdworker"] {
+		t.Fatalf("want one process_name metadata event per process, got %d (%v)", meta, procNames)
+	}
+	if complete != 3 {
+		t.Fatalf("want 3 X events, got %d", complete)
+	}
+	// Timestamps convert ns → µs.
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "job" {
+			if ev.Ts != 1.0 || ev.Dur != 9.0 {
+				t.Fatalf("job event ts/dur = %g/%g µs, want 1/9", ev.Ts, ev.Dur)
+			}
+			if ev.Args["engine"] != "fleet" {
+				t.Fatal("span attrs dropped from args")
+			}
+		}
+	}
+}
+
+// TestChromeTraceLaneInvariant is the property the viewers depend on:
+// within one (pid, tid) lane, any two slices are either disjoint in
+// time or properly nested — never partially overlapping.
+func TestChromeTraceLaneInvariant(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var spans []WireSpan
+		n := 2 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			start := int64(rng.Intn(10000))
+			spans = append(spans, WireSpan{
+				Trace: "t", Span: "s", Name: "op", Proc: "p",
+				Start: start, Dur: int64(1 + rng.Intn(5000)),
+			})
+		}
+		f := decodeChrome(t, ChromeTrace(spans))
+		type slice struct{ start, end float64 }
+		lanes := map[int][]slice{}
+		for _, ev := range f.TraceEvents {
+			if ev.Ph != "X" {
+				continue
+			}
+			lanes[ev.Tid] = append(lanes[ev.Tid], slice{ev.Ts, ev.Ts + ev.Dur})
+		}
+		for tid, sl := range lanes {
+			for i := 0; i < len(sl); i++ {
+				for j := i + 1; j < len(sl); j++ {
+					a, b := sl[i], sl[j]
+					disjoint := a.end <= b.start || b.end <= a.start
+					nested := (a.start <= b.start && b.end <= a.end) || (b.start <= a.start && a.end <= b.end)
+					if !disjoint && !nested {
+						t.Fatalf("trial %d: lane %d has partially overlapping slices [%g,%g) and [%g,%g)",
+							trial, tid, a.start, a.end, b.start, b.end)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	f := decodeChrome(t, ChromeTrace(nil))
+	if len(f.TraceEvents) != 0 {
+		t.Fatalf("empty input produced %d events", len(f.TraceEvents))
+	}
+}

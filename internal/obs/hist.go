@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency bucket upper bounds in seconds:
+// exponential from 500µs to 60s, sized for the spread between a cache
+// hit (~µs), a block kernel (ms–s), and a whole fleet job (s–min).
+// The terminal +Inf bucket is implicit.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket histogram safe for lock-free concurrent
+// Observe. Bucket i counts observations v <= bounds[i] (cumulative
+// counts are computed at snapshot time, not stored); the last bucket
+// is the implicit +Inf. A nil *Histogram no-ops, so optional
+// instrumentation hooks cost one nil check when unset.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// upper bounds (nil: DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketOf(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// bucketOf returns the index of the bucket v falls in: the first
+// bucket whose upper bound is >= v (bounds are inclusive upper
+// limits, matching Prometheus `le`).
+func (h *Histogram) bucketOf(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Bounds []float64 // upper bounds; the +Inf bucket is Counts[len(Bounds)]
+	Counts []int64   // per-bucket (non-cumulative) counts
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observes
+// may land between the per-bucket reads — totals are re-derived from
+// the buckets so the snapshot is always internally consistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Merge folds other's observations into h. The bucket layouts must
+// match (histograms merged across jobs or processes are created from
+// the same bounds); mismatched layouts panic.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	h.MergeSnapshot(other.Snapshot())
+}
+
+// MergeSnapshot folds an exported snapshot into h (the cross-process
+// form: workers ship snapshots, the coordinator merges them).
+func (h *Histogram) MergeSnapshot(s HistSnapshot) {
+	if h == nil || s.Count == 0 && s.Sum == 0 {
+		return
+	}
+	if len(s.Counts) != len(h.counts) {
+		panic("obs: merging histograms with different bucket layouts")
+	}
+	for i := range s.Counts {
+		if s.Counts[i] != 0 {
+			h.counts[i].Add(s.Counts[i])
+		}
+	}
+	h.count.Add(s.Count)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+s.Sum)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket the rank falls in, the same
+// estimate Prometheus's histogram_quantile computes. The +Inf
+// bucket clamps to the largest finite bound; an empty histogram
+// returns 0. Estimates are monotone in q.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile is Histogram.Quantile over a snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			if i == len(s.Bounds) {
+				// +Inf bucket: clamp to the largest finite bound.
+				if len(s.Bounds) == 0 {
+					return 0
+				}
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			upper := s.Bounds[i]
+			// Position of the rank inside this bucket.
+			frac := (rank - float64(cum-c)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lower + (upper-lower)*frac
+		}
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// referenceBucket is the O(n) specification bucketOf must match:
+// the first bucket whose inclusive upper bound admits v.
+func referenceBucket(bounds []float64, v float64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+func TestBucketBoundariesExactAndAdjacent(t *testing.T) {
+	h := NewHistogram(nil)
+	for i, b := range DefBuckets {
+		// A value exactly on a bound lands in that bucket (le-semantics)…
+		if got := h.bucketOf(b); got != i {
+			t.Errorf("bucketOf(%g) = %d, want %d (bounds are inclusive)", b, got, i)
+		}
+		// …and the next representable value above it lands one bucket up.
+		above := math.Nextafter(b, math.Inf(1))
+		if got := h.bucketOf(above); got != i+1 {
+			t.Errorf("bucketOf(%g) = %d, want %d", above, got, i+1)
+		}
+	}
+	if got := h.bucketOf(math.Inf(1)); got != len(DefBuckets) {
+		t.Errorf("bucketOf(+Inf) = %d, want the overflow bucket %d", got, len(DefBuckets))
+	}
+}
+
+func TestBucketOfMatchesReferenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewHistogram(nil)
+	for i := 0; i < 10000; i++ {
+		// Log-uniform over (~1e-5, ~1e3) to hit every bucket region.
+		v := math.Exp(rng.Float64()*18 - 11)
+		if got, want := h.bucketOf(v), referenceBucket(DefBuckets, v); got != want {
+			t.Fatalf("bucketOf(%g) = %d, reference says %d", v, got, want)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	const goroutines, perG = 16, 2000
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				// 0.25 is exactly representable, so the expected sum below
+				// is float-exact even across interleaved CAS updates.
+				h.Observe(0.25)
+				_ = rng
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("lost observations under concurrency: count %d, want %d", s.Count, goroutines*perG)
+	}
+	if want := 0.25 * goroutines * perG; s.Sum != want {
+		t.Fatalf("sum %g, want %g", s.Sum, want)
+	}
+	var inBuckets int64
+	for _, c := range s.Counts {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket counts sum to %d, count says %d", inBuckets, s.Count)
+	}
+}
+
+// randomHist builds a histogram with integral observations (so Sum
+// arithmetic is float-exact and merging is order-independent).
+func randomHist(rng *rand.Rand, n int) *Histogram {
+	h := NewHistogram(nil)
+	for i := 0; i < n; i++ {
+		h.Observe(float64(rng.Intn(128)))
+	}
+	return h
+}
+
+func histEqual(a, b HistSnapshot) bool {
+	if a.Count != b.Count || a.Sum != b.Sum || len(a.Counts) != len(b.Counts) {
+		return false
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMergeAssociativityProperty(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		mk := func() (*Histogram, *Histogram, *Histogram) {
+			return randomHist(rng, rng.Intn(200)), randomHist(rng, rng.Intn(200)), randomHist(rng, rng.Intn(200))
+		}
+		a1, b1, c1 := mk()
+		rng = rand.New(rand.NewSource(int64(trial)))
+		a2, b2, c2 := mk()
+
+		// (a ⊕ b) ⊕ c
+		left := NewHistogram(nil)
+		left.Merge(a1)
+		left.Merge(b1)
+		left.Merge(c1)
+		// a ⊕ (b ⊕ c)
+		bc := NewHistogram(nil)
+		bc.Merge(b2)
+		bc.Merge(c2)
+		right := NewHistogram(nil)
+		right.Merge(a2)
+		right.Merge(bc)
+
+		if !histEqual(left.Snapshot(), right.Snapshot()) {
+			t.Fatalf("trial %d: merge is not associative:\n(a⊕b)⊕c = %+v\na⊕(b⊕c) = %+v",
+				trial, left.Snapshot(), right.Snapshot())
+		}
+	}
+}
+
+func TestMergeLayoutMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched bucket layouts did not panic")
+		}
+	}()
+	a := NewHistogram([]float64{1, 2, 3})
+	b := NewHistogram([]float64{1, 2})
+	b.Observe(1)
+	a.Merge(b)
+}
+
+func TestQuantileMonotonicityProperty(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		h := NewHistogram(nil)
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Observe(math.Exp(rng.Float64()*18 - 11))
+		}
+		s := h.Snapshot()
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: quantile not monotone: q=%.2f gives %g after %g", trial, q, v, prev)
+			}
+			if v < 0 || v > DefBuckets[len(DefBuckets)-1] {
+				t.Fatalf("trial %d: quantile %g escapes [0, largest bound]", trial, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %g, want 0", got)
+	}
+	if got := NewHistogram(nil).Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	h := NewHistogram(nil)
+	h.Observe(1e9) // +Inf bucket only
+	if got, want := h.Quantile(0.5), DefBuckets[len(DefBuckets)-1]; got != want {
+		t.Errorf("+Inf-bucket quantile = %g, want clamp to %g", got, want)
+	}
+}
+
+func TestNewHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}

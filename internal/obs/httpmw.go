@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// statusRecorder captures the response status for logging/metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// NormalizePath collapses identifier path segments to {id} so metric
+// label cardinality stays bounded: segments that are job/fleet-job/
+// worker/lease ids (job-, fj-, w-, l- prefixes) or purely numeric.
+// CI runs Go 1.22, which predates http.Request.Pattern, hence the
+// manual normalizer.
+func NormalizePath(p string) string {
+	segs := strings.Split(p, "/")
+	changed := false
+	for i, s := range segs {
+		if isIDSegment(s) {
+			segs[i] = "{id}"
+			changed = true
+		}
+	}
+	if !changed {
+		return p
+	}
+	return strings.Join(segs, "/")
+}
+
+func isIDSegment(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, pfx := range [...]string{"job-", "fj-", "w-", "l-"} {
+		if strings.HasPrefix(s, pfx) && len(s) > len(pfx) {
+			return true
+		}
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Middleware wraps an HTTP handler with the standard server-side
+// instrumentation: a per-endpoint latency histogram and request
+// counter, a structured access log line, and — when the request
+// carries a W3C traceparent header — an http.server span continuing
+// the inbound trace. Requests without a traceparent get metrics and a
+// log line but no span: the job timeline's root spans are opened by
+// the scheduler, and minting a fresh trace per unrelated request would
+// churn the tracer's bounded trace buffer.
+func Middleware(next http.Handler, o *Obs, log *slog.Logger, service string) http.Handler {
+	if o == nil {
+		o = NoTrace()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+
+		var span *Span
+		traceID := ""
+		if parent, ok := ParseTraceParent(r.Header.Get("traceparent")); ok {
+			traceID = parent.Trace.String()
+			span = o.Tracer.StartChild(parent, "http.server "+r.Method+" "+NormalizePath(r.URL.Path))
+			span.SetAttr("http.path", r.URL.Path)
+		}
+
+		next.ServeHTTP(rec, r)
+
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		path := NormalizePath(r.URL.Path)
+		o.Metrics.Histogram("mdtask_http_request_duration_seconds",
+			"HTTP server request latency by endpoint.", nil,
+			"service", service, "method", r.Method, "path", path,
+		).Observe(elapsed.Seconds())
+		o.Metrics.Counter("mdtask_http_requests_total",
+			"HTTP server requests by endpoint and status code.",
+			"service", service, "method", r.Method, "path", path,
+			"code", strconv.Itoa(rec.status),
+		).Inc()
+
+		if span != nil {
+			span.SetAttrInt("http.status", int64(rec.status))
+			span.End()
+		}
+		if log != nil {
+			attrs := []any{
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Duration("dur", elapsed),
+			}
+			if traceID != "" {
+				attrs = append(attrs, slog.String("trace_id", traceID))
+			}
+			log.LogAttrs(r.Context(), slog.LevelInfo, "http",
+				toSlogAttrs(attrs)...)
+		}
+	})
+}
+
+func toSlogAttrs(in []any) []slog.Attr {
+	out := make([]slog.Attr, 0, len(in))
+	for _, a := range in {
+		if sa, ok := a.(slog.Attr); ok {
+			out = append(out, sa)
+		}
+	}
+	return out
+}
+
+// NewLogger builds the process logger for the -log-format flag:
+// "json" for machine-readable lines, anything else for text.
+func NewLogger(w interface{ Write([]byte) (int, error) }, format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
+}

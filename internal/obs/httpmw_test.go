@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNormalizePath(t *testing.T) {
+	cases := map[string]string{
+		"/v1/jobs":                  "/v1/jobs",
+		"/v1/jobs/job-000042":       "/v1/jobs/{id}",
+		"/v1/jobs/job-000042/trace": "/v1/jobs/{id}/trace",
+		"/v1/workers/w-7/lease":     "/v1/workers/{id}/lease",
+		"/v1/fleet/jobs/fj-3/input": "/v1/fleet/jobs/{id}/input",
+		"/v1/things/123":            "/v1/things/{id}",
+		"/metrics":                  "/metrics",
+		"/healthz":                  "/healthz",
+	}
+	for in, want := range cases {
+		if got := NormalizePath(in); got != want {
+			t.Errorf("NormalizePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMiddlewareMetricsAndSpans(t *testing.T) {
+	o := New("testsvc")
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}), o, nil, "testsvc")
+
+	// Plain request: metrics, no span (no inbound traceparent).
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs", nil))
+	if o.Tracer.TraceCount() != 0 {
+		t.Fatal("request without traceparent minted a trace")
+	}
+
+	// Request continuing a trace: span lands in that trace.
+	parentSpan := o.Tracer.StartRoot("client")
+	req := httptest.NewRequest("POST", "/v1/workers/w-1/results", nil)
+	req.Header.Set("traceparent", parentSpan.Context().TraceParent())
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	spans, _ := o.Tracer.Spans(parentSpan.Context().Trace)
+	if len(spans) != 1 {
+		t.Fatalf("inbound traceparent produced %d spans, want 1", len(spans))
+	}
+	ws := spans[0]
+	if ws.Name != "http.server POST /v1/workers/{id}/results" {
+		t.Errorf("span name %q", ws.Name)
+	}
+	if ws.Parent != parentSpan.Context().Span.String() {
+		t.Error("server span not parented under the inbound context")
+	}
+	if ws.Attrs["http.status"] != "202" {
+		t.Errorf("status attr %q, want 202", ws.Attrs["http.status"])
+	}
+
+	var b strings.Builder
+	if err := o.Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`mdtask_http_requests_total{service="testsvc",method="POST",path="/v1/jobs",code="202"} 1`,
+		`mdtask_http_request_duration_seconds_count{service="testsvc",method="POST",path="/v1/jobs"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestMiddlewareLogsTraceID(t *testing.T) {
+	o := New("svc")
+	var buf strings.Builder
+	logger := NewLogger(&buf, "json")
+	h := Middleware(http.NotFoundHandler(), o, logger, "svc")
+
+	root := o.Tracer.StartRoot("client")
+	req := httptest.NewRequest("GET", "/v1/fleet", nil)
+	req.Header.Set("traceparent", root.Context().TraceParent())
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	line := buf.String()
+	if !strings.Contains(line, `"trace_id":"`+root.Context().Trace.String()+`"`) {
+		t.Fatalf("log line missing trace id: %s", line)
+	}
+	if !strings.Contains(line, `"status":404`) {
+		t.Fatalf("log line missing status: %s", line)
+	}
+}
+
+func TestMiddlewareNilObs(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), nil, nil, "svc")
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil)) // must not panic
+}

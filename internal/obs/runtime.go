@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterRuntimeMetrics registers Go runtime health gauges
+// (goroutines, heap, GC) on the registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	r.GaugeFunc("go_memstats_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapSys)
+		})
+	r.CounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.NumGC)
+		})
+}
+
+// RegisterBuildInfo registers the conventional build_info gauge: value
+// 1 with the build identity as labels, so dashboards can join any
+// series against the running version.
+func RegisterBuildInfo(r *Registry, service string) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("mdtask_build_info",
+		"Build information of the running binary (value is always 1).",
+		func() float64 { return 1 },
+		"service", service,
+		"go_version", runtime.Version(),
+		"revision", buildRevision())
+}
+
+// Version returns a human-readable build identity for -version flags:
+// module version plus VCS revision when stamped by the toolchain.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown (built without module support)"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	if rev := buildRevision(); rev != "unknown" {
+		v += " (" + rev + ")"
+	}
+	return v + " " + runtime.Version()
+}
+
+// buildRevision returns the VCS revision the binary was built from,
+// with a "-dirty" suffix for modified trees, or "unknown".
+func buildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}

@@ -9,10 +9,13 @@ package psa
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"time"
 
 	"mdtask/internal/blockstore"
 	"mdtask/internal/engine"
 	"mdtask/internal/hausdorff"
+	"mdtask/internal/obs"
 	"mdtask/internal/traj"
 )
 
@@ -65,6 +68,16 @@ type Opts struct {
 	// trajectory of each comparison once per outer window, which the
 	// BytesStreamed metric accounts. Zero keeps the fully-resident path.
 	MaxResidentFrames int
+	// Tracer and TraceParent, when set, give every task body a span:
+	// each block records a psa.block span (child of TraceParent) with
+	// its geometry and cache outcome, and cached lookups record a
+	// nested cache.do span covering the store interaction. A nil Tracer
+	// disables tracing at the cost of one nil check per block.
+	Tracer      *obs.Tracer
+	TraceParent obs.SpanContext
+	// KernelHist, when non-nil, observes each block kernel's wall time
+	// in seconds (cache hits do not run a kernel and are not observed).
+	KernelHist *obs.Histogram
 	// Cache, when non-nil, is the content-addressed block store every
 	// task body consults before running its kernel: a block whose key
 	// (BlockKey: layout × trajectory content digests) is already stored
@@ -243,9 +256,16 @@ func ComputeBlock(ens traj.Ensemble, b Block, opts Opts) BlockResult {
 // recorded for later lookups. Cancelled (zero-filled) blocks are never
 // recorded.
 func ComputeBlockRefs(refs traj.RefEnsemble, b Block, opts Opts) (BlockResult, error) {
+	span := opts.Tracer.StartChild(opts.TraceParent, "psa.block")
+	span.SetAttr("block", fmt.Sprintf("[%d:%d)x[%d:%d)", b.I0, b.I1, b.J0, b.J1))
+	defer span.End()
+	// Nested psa.block spans (the cache.do child) parent under this one.
+	opts.TraceParent = span.Context()
+
 	res := BlockResult{Block: b, Symmetric: opts.Symmetric}
 	if opts.Cache != nil {
 		if key, kerr := BlockKey(refs, b, opts.Symmetric); kerr == nil {
+			doSpan := opts.Tracer.StartChild(span.Context(), "cache.do")
 			val, hit, err := opts.Cache.Do(key, blockValueBytes, func() (any, error) {
 				vals, complete, cerr := computeBlockVals(refs, b, opts)
 				if cerr != nil {
@@ -256,6 +276,9 @@ func ComputeBlockRefs(refs traj.RefEnsemble, b Block, opts Opts) (BlockResult, e
 				}
 				return vals, nil
 			})
+			doSpan.SetAttr("hit", strconv.FormatBool(hit))
+			doSpan.End()
+			span.SetAttr("cache_hit", strconv.FormatBool(hit))
 			switch {
 			case errors.Is(err, errIncompleteBlock):
 				// Cancelled mid-block: pass the zero-filled values through
@@ -293,6 +316,10 @@ func computeBlockVals(refs traj.RefEnsemble, b Block, opts Opts) (vals []float64
 		kc hausdorff.Counters
 		st hausdorff.StreamStats
 	)
+	if opts.KernelHist != nil {
+		start := time.Now()
+		defer func() { opts.KernelHist.Observe(time.Since(start).Seconds()) }()
+	}
 	defer func() {
 		opts.recordKernel(kc)
 		opts.recordStream(st)
