@@ -4,7 +4,7 @@ SMOKE_PORT ?= 18077
 BENCH_CURRENT ?= /tmp/mdtask-bench-current.json
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json bench-gate fmt vet serve smoke-serve smoke-fleet smoke-stream smoke-cache smoke-obs fuzz race
+.PHONY: build test bench bench-json bench-gate fmt vet serve smoke-serve smoke-fleet smoke-stream smoke-cache smoke-obs smoke-crash fuzz race
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,14 @@ smoke-cache:
 smoke-obs:
 	sh scripts/smoke_obs.sh
 
+# CI gate for the durable job store: mdserver with a -data-dir journal
+# is SIGKILLed mid-fleet-job and restarted against the same directory;
+# zero jobs may be lost, the recovered job must complete byte-identical
+# to the serial reference, and /metrics must expose the recovery
+# evidence (see scripts/smoke_crash.sh).
+smoke-crash:
+	sh scripts/smoke_crash.sh
+
 # CI smoke for out-of-core streaming: an ensemble whose loaded payload
 # exceeds the streamed child's RSS budget must run to completion with
 # `psa -max-frames` inside that budget (peak RSS sampled from /proc),
@@ -86,10 +94,11 @@ fuzz:
 	$(GO) test -fuzz FuzzWindowRoundTrip -fuzztime $(FUZZTIME) -run '^$$' ./internal/traj/
 
 # Dedicated race gate over the concurrency-heavy layers (the serving
-# scheduler, the fleet coordinator/worker protocol, and the streamed
-# PSA cancel paths), independent of the main test matrix.
+# scheduler with its journal and crash-point tests, the WAL, the fleet
+# coordinator/worker protocol, and the streamed PSA cancel paths),
+# independent of the main test matrix.
 race:
-	$(GO) test -race -count=1 ./internal/jobs/... ./internal/fleet/... ./internal/psa/...
+	$(GO) test -race -count=1 ./internal/jobs/... ./internal/fleet/... ./internal/psa/... ./internal/wal/... ./internal/faultinject/...
 
 bench:
 	$(GO) test -bench 'PSA|Hausdorff' -run '^$$' ./internal/bench/

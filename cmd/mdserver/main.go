@@ -32,6 +32,12 @@
 // -log-format selects text or JSON structured access logs, and
 // -version prints the build identity.
 //
+// Durability: -data-dir enables a write-ahead job journal in that
+// directory — acknowledged jobs survive SIGKILL and are re-run from
+// their specs on the next boot against the same directory (see the
+// "Durability & recovery" section of the README). -fsync picks the
+// journal's fsync policy (always|interval|never).
+//
 // Example:
 //
 //	curl -s localhost:8077/v1/jobs -d \
@@ -54,9 +60,11 @@ import (
 	"time"
 
 	"mdtask/internal/blockstore"
+	"mdtask/internal/faultinject"
 	"mdtask/internal/fleet"
 	"mdtask/internal/jobs"
 	"mdtask/internal/obs"
+	"mdtask/internal/wal"
 )
 
 func main() {
@@ -66,6 +74,8 @@ func main() {
 		queue      = flag.Int("queue", 64, "queued-job limit")
 		cacheBytes = flag.Int64("cache-bytes", blockstore.DefaultMaxBytes, "result-store byte budget (block + whole-job entries, LRU-evicted)")
 		retain     = flag.Int("retain", 4096, "finished-job records retained (oldest evicted beyond this)")
+		dataDir    = flag.String("data-dir", "", "durable job-journal directory; jobs survive crashes and restarts (empty: memory-only)")
+		fsync      = flag.String("fsync", "always", "journal fsync policy: always|interval|never")
 
 		fleetWorkers = flag.Int("fleet-workers", 0, "in-process fleet workers to attach (0: external mdworkers only)")
 		leaseTTL     = flag.Duration("fleet-lease-ttl", 15*time.Second, "fleet work-unit lease before requeue")
@@ -85,6 +95,8 @@ func main() {
 	cfg := serverConfig{
 		addr: *addr, workers: *workers, queue: *queue, retain: *retain,
 		cacheBytes:   *cacheBytes,
+		dataDir:      *dataDir,
+		fsync:        *fsync,
 		fleetWorkers: *fleetWorkers,
 		fleetOpts:    fleet.Options{LeaseTTL: *leaseTTL, HeartbeatTTL: *hbTTL, SweepEvery: *sweep},
 		traceOn:      *trace != "off",
@@ -104,6 +116,8 @@ type serverConfig struct {
 	addr                   string
 	workers, queue, retain int
 	cacheBytes             int64
+	dataDir                string
+	fsync                  string
 	fleetWorkers           int
 	fleetOpts              fleet.Options
 	traceOn                bool
@@ -164,6 +178,35 @@ func run(ctx context.Context, cfg serverConfig) error {
 	obs.RegisterRuntimeMetrics(ob.Metrics)
 	obs.RegisterBuildInfo(ob.Metrics, "mdserver")
 	logger := obs.NewLogger(os.Stderr, cfg.logFormat)
+	// Env-gated fault points (MDTASK_FAULTS) — inert in production, they
+	// let the crash-recovery tests and smoke script break the journal at
+	// chosen record boundaries.
+	if err := faultinject.ActivateFromEnv(); err != nil {
+		return err
+	}
+	if faultinject.Enabled() {
+		log.Printf("mdserver fault injection armed: %s=%s", faultinject.EnvVar, os.Getenv(faultinject.EnvVar))
+	}
+	// The durable job journal (optional): every lifecycle transition is
+	// written through it, and on boot the previous process's jobs are
+	// replayed — terminal ones as status-only records, queued/running
+	// ones re-enqueued and re-run from their specs.
+	var journal jobs.Store
+	var walStore *jobs.WALStore
+	var recovered *jobs.Recovered
+	if cfg.dataDir != "" {
+		pol, err := wal.ParseSyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		ws, rec, err := jobs.OpenWALStore(jobs.WALStoreOptions{Dir: cfg.dataDir, Sync: pol})
+		if err != nil {
+			return fmt.Errorf("opening job journal in %s: %w", cfg.dataDir, err)
+		}
+		defer ws.Close()
+		ws.RegisterMetrics(ob.Metrics)
+		walStore, recovered, journal = ws, rec, ws
+	}
 	fleetOpts := cfg.fleetOpts
 	fleetOpts.BlockStore = store
 	fleetOpts.Tracer = ob.Tracer
@@ -175,7 +218,20 @@ func run(ctx context.Context, cfg serverConfig) error {
 		BlockStore: store,
 		MaxJobs:    cfg.retain,
 		Obs:        ob,
+		Journal:    journal,
 	})
+	if walStore != nil {
+		sched.Recover(recovered.Jobs)
+		requeued := 0
+		for _, j := range recovered.Jobs {
+			if !j.State.Terminal() {
+				requeued++
+			}
+		}
+		log.Printf("mdserver journal %s: recovered %d job(s) (%d re-enqueued), replayed=%d skipped=%d unreplayable=%d clean_shutdown=%v",
+			cfg.dataDir, len(recovered.Jobs), requeued,
+			recovered.Replayed, recovered.Skipped, recovered.Unreplayable, recovered.CleanShutdown)
+	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -240,6 +296,13 @@ func run(ctx context.Context, cfg serverConfig) error {
 	case <-ctx.Done():
 	}
 	log.Printf("mdserver shutting down")
+	// Drain before anything else: admission stops (new submissions get
+	// 503), idle workers exit instead of picking up queued jobs, and
+	// queued jobs stay journaled as queued so the next boot re-enqueues
+	// them. Jobs the coordinator aborts below stay `running` in the
+	// journal (drain suppresses their shutdown-artefact failures) and
+	// likewise re-run on the next boot.
+	sched.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -251,6 +314,8 @@ func run(ctx context.Context, cfg serverConfig) error {
 	// otherwise sched.Close would wait forever on a fleet job whose
 	// workers can no longer reach us.
 	coord.Close()
+	// Close waits the worker pool out, then journals the clean-shutdown
+	// marker: every transition above is durable before we exit.
 	sched.Close()
 	return nil
 }

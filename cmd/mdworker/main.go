@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"mdtask/internal/faultinject"
 	"mdtask/internal/fleet"
 	"mdtask/internal/obs"
 )
@@ -44,6 +45,9 @@ func main() {
 		parallel    = flag.Int("parallel", 1, "concurrent work-unit executors")
 		wait        = flag.Duration("register-wait", 30*time.Second, "how long to retry the initial registration")
 
+		ctlTimeout  = flag.Duration("control-timeout", 15*time.Second, "timeout for control-plane calls (register, heartbeat, lease, result post)")
+		xferTimeout = flag.Duration("transfer-timeout", 2*time.Minute, "timeout for bulk input/window downloads")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text) on this address (empty: disabled)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
@@ -54,7 +58,20 @@ func main() {
 		fmt.Println("mdworker", obs.Version())
 		return
 	}
-	if err := run(*coordinator, *name, *parallel, *wait, *metricsAddr, *debugAddr, *logFormat); err != nil {
+	if err := faultinject.ActivateFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "mdworker:", err)
+		os.Exit(1)
+	}
+	opts := fleet.WorkerOptions{
+		Coordinator:     *coordinator,
+		Name:            *name,
+		Parallel:        *parallel,
+		RegisterWait:    *wait,
+		ControlTimeout:  *ctlTimeout,
+		TransferTimeout: *xferTimeout,
+		Logf:            log.Printf,
+	}
+	if err := run(opts, *metricsAddr, *debugAddr, *logFormat); err != nil {
 		fmt.Fprintln(os.Stderr, "mdworker:", err)
 		os.Exit(1)
 	}
@@ -69,7 +86,7 @@ func defaultName() string {
 	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
-func run(coordinator, name string, parallel int, wait time.Duration, metricsAddr, debugAddr, logFormat string) error {
+func run(opts fleet.WorkerOptions, metricsAddr, debugAddr, logFormat string) error {
 	ob := obs.New("mdworker")
 	obs.RegisterRuntimeMetrics(ob.Metrics)
 	obs.RegisterBuildInfo(ob.Metrics, "mdworker")
@@ -94,18 +111,12 @@ func run(coordinator, name string, parallel int, wait time.Duration, metricsAddr
 		go func() { _ = http.Serve(dln, http.DefaultServeMux) }()
 		log.Printf("mdworker pprof on %s/debug/pprof/", dln.Addr())
 	}
-	w, err := fleet.StartWorker(fleet.WorkerOptions{
-		Coordinator:  coordinator,
-		Name:         name,
-		Parallel:     parallel,
-		RegisterWait: wait,
-		Logf:         log.Printf,
-		Obs:          ob,
-	})
+	opts.Obs = ob
+	w, err := fleet.StartWorker(opts)
 	if err != nil {
 		return err
 	}
-	log.Printf("mdworker %s (%s) pulling from %s with %d executor(s)", w.ID(), name, coordinator, parallel)
+	log.Printf("mdworker %s (%s) pulling from %s with %d executor(s)", w.ID(), opts.Name, opts.Coordinator, opts.Parallel)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

@@ -52,7 +52,12 @@ func TestWorkerDrainsCoordinator(t *testing.T) {
 // TestRunRegisterTimeout checks run fails fast when no coordinator is
 // listening.
 func TestRunRegisterTimeout(t *testing.T) {
-	err := run("http://127.0.0.1:1", "w", 1, 50*time.Millisecond, "", "", "text")
+	err := run(fleet.WorkerOptions{
+		Coordinator:  "http://127.0.0.1:1",
+		Name:         "w",
+		Parallel:     1,
+		RegisterWait: 50 * time.Millisecond,
+	}, "", "", "text")
 	if err == nil || !strings.Contains(err.Error(), "registering") {
 		t.Fatalf("got %v, want registration error", err)
 	}

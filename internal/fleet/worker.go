@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -32,8 +33,17 @@ type WorkerOptions struct {
 	// while the coordinator is unreachable (default 10s) — workers may
 	// legitimately boot before their coordinator.
 	RegisterWait time.Duration
-	// Client overrides the HTTP client (default: 2-minute timeout).
+	// Client, when non-nil, overrides BOTH per-endpoint clients —
+	// useful in tests that need a single instrumented transport.
 	Client *http.Client
+	// ControlTimeout bounds control-plane calls — register, heartbeat,
+	// lease, result post (default 15s). These carry small payloads; a
+	// call that takes longer is stuck, and a stuck heartbeat must fail
+	// fast enough to retry before the coordinator's failure detector
+	// declares this worker dead.
+	ControlTimeout time.Duration
+	// TransferTimeout bounds bulk input/window downloads (default 2m).
+	TransferTimeout time.Duration
 	// Logf, when non-nil, receives worker lifecycle log lines.
 	Logf func(format string, args ...interface{})
 	// Obs, when non-nil, instruments the worker: kernel spans parented
@@ -52,6 +62,8 @@ type WorkerOptions struct {
 type Worker struct {
 	o    WorkerOptions
 	base string
+	ctl  *http.Client // control plane: register, heartbeat, lease, result post
+	xfer *http.Client // bulk transfers: input and window downloads
 
 	mu   sync.Mutex
 	id   string
@@ -63,6 +75,9 @@ type Worker struct {
 	tracer     *obs.Tracer
 	leaseHist  *obs.Histogram
 	kernelHist *obs.Histogram
+	leaseRetry *obs.Counter
+	hbRetry    *obs.Counter
+	postRetry  *obs.Counter
 
 	// UnitsDone counts results the coordinator accepted.
 	UnitsDone atomic.Int64
@@ -83,8 +98,11 @@ func StartWorker(o WorkerOptions) (*Worker, error) {
 	if o.RegisterWait <= 0 {
 		o.RegisterWait = 10 * time.Second
 	}
-	if o.Client == nil {
-		o.Client = &http.Client{Timeout: 2 * time.Minute}
+	if o.ControlTimeout <= 0 {
+		o.ControlTimeout = 15 * time.Second
+	}
+	if o.TransferTimeout <= 0 {
+		o.TransferTimeout = 2 * time.Minute
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...interface{}) {}
@@ -92,7 +110,12 @@ func StartWorker(o WorkerOptions) (*Worker, error) {
 	w := &Worker{
 		o:    o,
 		base: strings.TrimRight(o.Coordinator, "/"),
+		ctl:  &http.Client{Timeout: o.ControlTimeout},
+		xfer: &http.Client{Timeout: o.TransferTimeout},
 		stop: make(chan struct{}),
+	}
+	if o.Client != nil {
+		w.ctl, w.xfer = o.Client, o.Client
 	}
 	if o.Obs != nil {
 		w.tracer = o.Obs.Tracer
@@ -100,6 +123,11 @@ func StartWorker(o WorkerOptions) (*Worker, error) {
 			"Latency of lease requests to the coordinator, including grants and empty polls.", nil)
 		w.kernelHist = o.Obs.Metrics.Histogram("mdtask_block_kernel_seconds",
 			"Wall time of block kernels (PSA blocks and Leaflet tiles) executed by this worker.", nil)
+		retries := func(op string) *obs.Counter {
+			return o.Obs.Metrics.Counter("mdtask_fleet_worker_retries_total",
+				"Control-plane calls retried after a transient failure, by operation.", "op", op)
+		}
+		w.leaseRetry, w.hbRetry, w.postRetry = retries("lease"), retries("heartbeat"), retries("post")
 	}
 	w.inputs.init(4)
 	deadline := time.Now().Add(o.RegisterWait)
@@ -140,10 +168,25 @@ func (w *Worker) Close() {
 	w.wg.Wait()
 	req, err := http.NewRequest(http.MethodDelete, w.base+"/v1/workers/"+w.ID(), nil)
 	if err == nil {
-		if resp, err := w.o.Client.Do(req); err == nil {
+		if resp, err := w.ctl.Do(req); err == nil {
 			resp.Body.Close()
 		}
 	}
+}
+
+// retryDelay computes the nth (0-based) jittered exponential backoff
+// delay: base·2ⁿ capped at max, then jittered to 50–100% of that so a
+// fleet of workers cut off by one coordinator restart does not retry
+// in lockstep.
+func retryDelay(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // register (re-)registers the worker. Concurrent callers coalesce: if
@@ -163,7 +206,7 @@ func (w *Worker) reregister(staleID string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := w.o.Client.Post(w.base+"/v1/workers", "application/json", bytes.NewReader(body))
+	resp, err := w.ctl.Post(w.base+"/v1/workers", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -198,21 +241,32 @@ func (w *Worker) intervals() (heartbeat, poll time.Duration) {
 }
 
 // heartbeatLoop keeps the worker alive in the coordinator's failure
-// detector.
+// detector. A failed beat is retried on a jittered backoff that stays
+// SHORTER than the advertised cadence — after a transient network
+// blip the worker races to land a beat before the lease TTL declares
+// it dead, instead of idling a full interval.
 func (w *Worker) heartbeatLoop() {
 	defer w.wg.Done()
+	fails := 0
 	for {
 		hb, _ := w.intervals()
+		wait := hb
+		if fails > 0 {
+			wait = retryDelay(fails-1, hb/8, hb)
+		}
 		select {
 		case <-w.stop:
 			return
-		case <-time.After(hb):
+		case <-time.After(wait):
 		}
 		id := w.ID()
-		resp, err := w.o.Client.Post(w.base+"/v1/workers/"+id+"/heartbeat", "application/json", nil)
+		resp, err := w.ctl.Post(w.base+"/v1/workers/"+id+"/heartbeat", "application/json", nil)
 		if err != nil {
-			continue // transient; the next beat retries
+			fails++
+			w.hbRetry.Inc()
+			continue
 		}
+		fails = 0
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusNotFound {
 			_ = w.reregister(id)
@@ -220,9 +274,13 @@ func (w *Worker) heartbeatLoop() {
 	}
 }
 
-// executorLoop pulls and runs units until stopped.
+// executorLoop pulls and runs units until stopped. Lease errors back
+// off exponentially (jittered, capped at 5s) so an unreachable
+// coordinator is probed gently; an empty poll keeps the flat
+// advertised cadence — no work is not a failure.
 func (w *Worker) executorLoop() {
 	defer w.wg.Done()
+	leaseFails := 0
 	for {
 		select {
 		case <-w.stop:
@@ -231,7 +289,19 @@ func (w *Worker) executorLoop() {
 		}
 		_, poll := w.intervals()
 		l, err := w.lease()
-		if err != nil || l == nil {
+		if err != nil {
+			w.leaseRetry.Inc()
+			wait := retryDelay(leaseFails, poll, 5*time.Second)
+			leaseFails++
+			select {
+			case <-w.stop:
+				return
+			case <-time.After(wait):
+			}
+			continue
+		}
+		leaseFails = 0
+		if l == nil {
 			select {
 			case <-w.stop:
 				return
@@ -257,7 +327,7 @@ func (w *Worker) executorLoop() {
 func (w *Worker) lease() (*Lease, error) {
 	id := w.ID()
 	start := time.Now()
-	resp, err := w.o.Client.Post(w.base+"/v1/workers/"+id+"/lease", "application/json", nil)
+	resp, err := w.ctl.Post(w.base+"/v1/workers/"+id+"/lease", "application/json", nil)
 	w.leaseHist.Observe(time.Since(start).Seconds())
 	if err != nil {
 		return nil, err
@@ -379,38 +449,56 @@ func (w *Worker) execute(l *Lease) (res UnitResult, err error) {
 	return res, nil
 }
 
-// post ships a unit result; false means the coordinator rejected it
-// (stale lease — the unit was requeued to someone else). A non-empty
-// traceparent is forwarded so the coordinator's access log and server
-// span land in the job's trace.
+// post ships a unit result; false means the result did not land (a
+// stale lease was rejected outright, or retries ran out — either way
+// the lease expires and the unit is requeued). Transport errors and
+// 5xx responses are retried with jittered backoff: the computed block
+// is already in hand, and a blip on the result path must not throw the
+// kernel work away. A non-empty traceparent is forwarded so the
+// coordinator's access log and server span land in the job's trace.
 func (w *Worker) post(traceparent string, res UnitResult) bool {
 	body, err := json.Marshal(res)
 	if err != nil {
 		return false
 	}
-	req, err := http.NewRequest(http.MethodPost, w.base+"/v1/workers/"+w.ID()+"/results", bytes.NewReader(body))
-	if err != nil {
-		return false
+	const attempts = 4
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, w.base+"/v1/workers/"+w.ID()+"/results", bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, err := w.ctl.Do(req)
+		retryable := err != nil
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				resp.Body.Close()
+				return true
+			}
+			retryable = resp.StatusCode >= 500
+			if !retryable {
+				w.o.Logf("fleet worker %s: unit %s/%d rejected: %s", w.ID(), res.Job, res.Unit, resp.Status)
+			}
+			resp.Body.Close()
+		}
+		if !retryable || attempt == attempts-1 {
+			return false
+		}
+		w.postRetry.Inc()
+		select {
+		case <-w.stop:
+			return false
+		case <-time.After(retryDelay(attempt, 100*time.Millisecond, 2*time.Second)):
+		}
 	}
-	req.Header.Set("Content-Type", "application/json")
-	if traceparent != "" {
-		req.Header.Set("traceparent", traceparent)
-	}
-	resp, err := w.o.Client.Do(req)
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		w.o.Logf("fleet worker %s: unit %s/%d rejected: %s", w.ID(), res.Job, res.Unit, resp.Status)
-		return false
-	}
-	return true
 }
 
 // fetchInput downloads a job's input payload.
 func (w *Worker) fetchInput(jobID string) ([]byte, error) {
-	resp, err := w.o.Client.Get(w.base + "/v1/fleet/jobs/" + jobID + "/input")
+	resp, err := w.xfer.Get(w.base + "/v1/fleet/jobs/" + jobID + "/input")
 	if err != nil {
 		return nil, err
 	}
@@ -433,7 +521,7 @@ func (w *Worker) fetchWindow(jobID string, trajIx, win int, traceparent string) 
 	if traceparent != "" {
 		req.Header.Set("traceparent", traceparent)
 	}
-	resp, err := w.o.Client.Do(req)
+	resp, err := w.xfer.Do(req)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryDelayBounds checks the jittered exponential schedule: each
+// attempt lands in [cap/2·?, cap], grows with the attempt number, and
+// never exceeds the cap.
+func TestRetryDelayBounds(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	for attempt := 0; attempt < 10; attempt++ {
+		full := base << uint(attempt)
+		if full > max || full <= 0 {
+			full = max
+		}
+		for i := 0; i < 50; i++ {
+			d := retryDelay(attempt, base, max)
+			if d < full/2 || d > full {
+				t.Fatalf("retryDelay(%d) = %v, want within [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+}
+
+// TestPostRetriesTransientFailures checks a unit result survives a
+// coordinator blip: 5xx responses are retried until one lands, and the
+// kernel work is not thrown away.
+func TestPostRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "coordinator mid-restart", http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	w := &Worker{
+		o:    WorkerOptions{Logf: t.Logf},
+		base: ts.URL,
+		ctl:  ts.Client(),
+		stop: make(chan struct{}),
+	}
+	if !w.post("", UnitResult{Job: "j", Unit: 1}) {
+		t.Fatal("post gave up despite the coordinator recovering")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("post made %d attempts, want 3 (two 502s then a 200)", got)
+	}
+}
+
+// TestPostDoesNotRetryRejection checks a 4xx (stale lease) is final:
+// the unit was requeued to someone else, retrying would double-record.
+func TestPostDoesNotRetryRejection(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "stale lease", http.StatusConflict)
+	}))
+	defer ts.Close()
+	w := &Worker{
+		o:    WorkerOptions{Logf: t.Logf},
+		base: ts.URL,
+		ctl:  ts.Client(),
+		stop: make(chan struct{}),
+	}
+	if w.post("", UnitResult{Job: "j", Unit: 1}) {
+		t.Fatal("post reported success on a rejected result")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("post made %d attempts on a 409, want exactly 1", got)
+	}
+}

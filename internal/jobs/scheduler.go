@@ -35,6 +35,11 @@ var (
 	ErrQueueFull = errors.New("jobs: queue full")
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("jobs: scheduler closed")
+	// ErrJournal is returned by Submit when the durability journal
+	// rejects the write (e.g. a full disk): the job was NOT admitted,
+	// because acknowledging it would promise a durability the journal
+	// cannot deliver.
+	ErrJournal = errors.New("jobs: journal write failed")
 )
 
 // Job is one scheduled analysis: a normalized spec, its lifecycle
@@ -188,6 +193,12 @@ type Options struct {
 	// histograms, job counters, and block-store gauges. Nil falls back
 	// to a metrics-only bundle with tracing disabled.
 	Obs *obs.Obs
+	// Journal, when non-nil, is the durable job store every lifecycle
+	// transition is written through (cmd/mdserver wires a WALStore
+	// under -data-dir). A journal write failure at submission fails
+	// the submission — an acknowledged job is always recoverable. Nil
+	// keeps the scheduler memory-only.
+	Journal Store
 }
 
 // Scheduler owns the job table, the bounded FIFO queue, the worker
@@ -195,20 +206,24 @@ type Options struct {
 // per-block entries every engine records through it), and the
 // service-wide engine-metrics aggregate.
 type Scheduler struct {
-	reg   *Registry
-	store *blockstore.Store
-	agg   *engine.Metrics
+	reg     *Registry
+	store   *blockstore.Store
+	journal Store // nil: memory-only
+	agg     *engine.Metrics
 
 	obs           *obs.Obs
 	queueWaitHist *obs.Histogram
 	submittedCtr  *obs.Counter
+	rejectedCtr   *obs.Counter
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	journalErrs atomic.Int64
 
 	mu         sync.Mutex
 	cond       *sync.Cond // signals workers when pending grows or closed flips
 	closed     bool
+	draining   bool // closed + leave queued jobs to the journal instead of running them out
 	seq        int64
 	maxJobs    int
 	queueDepth int
@@ -241,6 +256,7 @@ func NewScheduler(reg *Registry, o Options) *Scheduler {
 	s := &Scheduler{
 		reg:        reg,
 		store:      store,
+		journal:    o.Journal,
 		agg:        &engine.Metrics{},
 		obs:        ob,
 		maxJobs:    o.MaxJobs,
@@ -267,6 +283,18 @@ func (s *Scheduler) registerMetrics() {
 		"Time jobs spend queued before a worker picks them up.", nil)
 	s.submittedCtr = m.Counter("mdtask_jobs_submitted_total",
 		"Jobs admitted by the scheduler (including whole-job cache hits).")
+	s.rejectedCtr = m.Counter("mdtask_jobs_rejected_total",
+		"Submissions shed because the bounded queue was full (the API answers 429 + Retry-After).")
+	m.GaugeFunc("mdtask_jobs_queue_depth",
+		"Jobs queued but not yet picked up by a worker.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.pending))
+		})
+	m.CounterFunc("mdtask_jobs_journal_errors_total",
+		"Failed journal writes on non-submission transitions (submission failures reject the submission instead).",
+		func() float64 { return float64(s.journalErrs.Load()) })
 	waitHist := m.Histogram("mdtask_blockstore_do_wait_seconds",
 		"Time follower block lookups wait on an in-flight leader computing the same key.", nil)
 	s.store.SetWaitObserver(func(d time.Duration) { waitHist.Observe(d.Seconds()) })
@@ -320,6 +348,7 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	}
 	if len(s.pending) >= s.queueDepth {
 		s.mu.Unlock()
+		s.rejectedCtr.Inc()
 		return nil, ErrQueueFull
 	}
 	s.mu.Unlock()
@@ -353,10 +382,30 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	}
 	cached, hitOK := s.store.Get(jobEntryKey(job.key))
 	if !hitOK && len(s.pending) >= s.queueDepth {
+		s.rejectedCtr.Inc()
 		return nil, ErrQueueFull
 	}
 	s.seq++
 	job.id = fmt.Sprintf("job-%06d", s.seq)
+	// Journal the admission before acknowledging it: once Submit
+	// returns, the job survives a SIGKILL. A journal that cannot take
+	// the record fails the submission instead of admitting a job a
+	// restart would never have heard of. The fsync rides inside s.mu —
+	// admission order and journal order stay identical.
+	if s.journal != nil {
+		rec := JobRecord{
+			ID: job.id, Spec: norm, Key: job.key, State: StateQueued,
+			Created: job.created, Updated: job.created,
+		}
+		if hitOK {
+			rec.State = StateDone
+			rec.Digest = resultDigestOf(cached.(*Result))
+		}
+		if jerr := s.journal.JournalSubmit(rec); jerr != nil {
+			s.seq--
+			return nil, fmt.Errorf("%w: journaling submission: %w", ErrJournal, jerr)
+		}
+	}
 	s.jobs[job.id] = job
 	s.order = append(s.order, job)
 	s.submittedCtr.Inc()
@@ -396,6 +445,20 @@ func (s *Scheduler) jobFinished(state State) {
 		"Jobs reaching a terminal state, by state.", "state", string(state)).Inc()
 }
 
+// journalState journals a non-submission lifecycle transition.
+// Failures are counted rather than surfaced: the in-memory state is
+// already committed, and the gap shows up as
+// mdtask_jobs_journal_errors_total (worst case, recovery re-runs the
+// job — the at-least-once contract absorbs it).
+func (s *Scheduler) journalState(id string, state State, errMsg, digest string, ts time.Time) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.JournalState(id, state, errMsg, digest, ts); err != nil {
+		s.journalErrs.Add(1)
+	}
+}
+
 // pruneLocked evicts the oldest terminal job records beyond MaxJobs so
 // the job table (and the results it pins) stays bounded on a
 // long-running server. Callers hold s.mu.
@@ -405,6 +468,7 @@ func (s *Scheduler) pruneLocked() {
 	}
 	kept := s.order[:0]
 	excess := len(s.order) - s.maxJobs
+	var evicted []string
 	for _, j := range s.order {
 		if excess > 0 {
 			j.mu.Lock()
@@ -412,6 +476,7 @@ func (s *Scheduler) pruneLocked() {
 			j.mu.Unlock()
 			if terminal {
 				delete(s.jobs, j.id)
+				evicted = append(evicted, j.id)
 				excess--
 				continue
 			}
@@ -423,6 +488,11 @@ func (s *Scheduler) pruneLocked() {
 		s.order[i] = nil
 	}
 	s.order = kept
+	if s.journal != nil && len(evicted) > 0 {
+		if err := s.journal.JournalPrune(evicted); err != nil {
+			s.journalErrs.Add(1)
+		}
+	}
 }
 
 // Get returns the job with the given id.
@@ -472,11 +542,13 @@ func (s *Scheduler) Cancel(id string) (*Job, bool) {
 		j.rc.Cancel()
 		changed = true
 	}
+	finishedAt := j.finished
 	j.mu.Unlock()
 	if wasQueued {
 		// Free the queue slot immediately (never while holding j.mu:
 		// pruneLocked nests the locks the other way round).
 		s.unqueue(j)
+		s.journalState(j.id, StateCancelled, "", "", finishedAt)
 	}
 	return j, changed
 }
@@ -529,14 +601,38 @@ func (s *Scheduler) Metrics() ServiceMetrics {
 // (shared with whatever components the owner wired it into).
 func (s *Scheduler) BlockStore() *blockstore.Store { return s.store }
 
-// Close stops accepting submissions, drains the queue and waits for
-// running jobs to finish.
+// Close stops accepting submissions, drains the queue, waits for
+// running jobs to finish, and (with a journal wired) records the
+// clean-shutdown marker — every transition before it is known durable,
+// so the next boot reports a clean restart.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.journal != nil {
+		if err := s.journal.JournalShutdown(); err != nil {
+			s.journalErrs.Add(1)
+		}
+	}
+}
+
+// BeginDrain stops admission and job pickup without cancelling queued
+// work: workers exit instead of starting anything new, and queued jobs
+// stay journaled as queued, so the next boot re-enqueues them in
+// order. Running jobs keep running — the owner aborts or waits for
+// them (cmd/mdserver closes its fleet coordinator next) and then calls
+// Close for the shutdown marker. While draining, terminal journal
+// writes for failed/cancelled runs are suppressed: a job aborted by
+// shutdown stays `running` in the journal and re-runs from its spec on
+// the next boot instead of surfacing a spurious failure.
+func (s *Scheduler) BeginDrain() {
+	s.mu.Lock()
+	s.closed = true
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // worker pulls queued jobs and runs them to a terminal state.
@@ -547,7 +643,7 @@ func (s *Scheduler) worker() {
 		for len(s.pending) == 0 && !s.closed {
 			s.cond.Wait()
 		}
-		if len(s.pending) == 0 { // closed and drained
+		if s.draining || len(s.pending) == 0 { // draining, or closed and drained
 			s.mu.Unlock()
 			return
 		}
@@ -568,6 +664,7 @@ func (s *Scheduler) runJob(job *Job) {
 	job.state = StateRunning
 	job.started = time.Now()
 	spec, in := job.spec, job.input
+	started := job.started
 	s.queueWaitHist.Observe(job.started.Sub(job.created).Seconds())
 	job.queueSpan.End()
 	// The run span parents the runner's engine stage; the runner reaches
@@ -575,6 +672,7 @@ func (s *Scheduler) runJob(job *Job) {
 	runSpan := s.obs.Tracer.StartChild(job.jobSpan.Context(), "run")
 	job.rc.SetObs(s.obs, runSpan.Context())
 	job.mu.Unlock()
+	s.journalState(job.id, StateRunning, "", "", started)
 
 	var (
 		res *Result
@@ -613,7 +711,9 @@ func (s *Scheduler) runJob(job *Job) {
 	job.jobSpan.SetAttr("state", string(job.state))
 	job.jobSpan.End()
 	state := job.state
+	errMsg := job.errMsg
 	key := job.key
+	finishedAt := job.finished
 	runDur := job.finished.Sub(job.started)
 	job.mu.Unlock()
 	s.obs.Metrics.Histogram("mdtask_job_run_seconds",
@@ -622,6 +722,109 @@ func (s *Scheduler) runJob(job *Job) {
 	s.jobFinished(state)
 	if publish {
 		s.store.Put(jobEntryKey(key), res, resultBytes(res))
+	}
+	// A failed/cancelled outcome during drain is a shutdown artefact
+	// (the fleet coordinator aborting in-flight work), not a verdict on
+	// the job: leave it `running` in the journal so the next boot
+	// re-runs it from its spec. Completed results are always journaled.
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if state == StateDone || !draining {
+		var digest string
+		if state == StateDone {
+			digest = resultDigestOf(res)
+		}
+		s.journalState(job.id, state, errMsg, digest, finishedAt)
+	}
+}
+
+// Recover re-admits jobs reconstructed from the journal, in original
+// submission order, before the server starts taking new submissions.
+//
+// Terminal records come back as status-only entries: result bodies are
+// not journaled (only their digest), so a recovered done job keeps its
+// status and provenance but GET .../result answers 410 Gone until an
+// identical resubmission recomputes it — deterministic kernels make
+// that recomputation byte-identical to the digest on record.
+//
+// Queued and running records are re-enqueued and re-run from their
+// normalized specs: the at-least-once contract. A record whose input
+// no longer resolves is marked failed with the reason (and journaled
+// as such) rather than silently dropped. The job counter is restored
+// past the highest recovered id so new submissions never collide.
+func (s *Scheduler) Recover(recs []JobRecord) {
+	recoveredCtr := func(prior State) *obs.Counter {
+		return s.obs.Metrics.Counter("mdtask_jobs_recovered_total",
+			"Jobs re-admitted from the journal at boot, by the state they held when the previous process exited.",
+			"prior", string(prior))
+	}
+	s.mu.Lock()
+	for _, rec := range recs {
+		var n int64
+		if _, err := fmt.Sscanf(rec.ID, "job-%06d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+	s.mu.Unlock()
+	for _, rec := range recs {
+		prior := rec.State
+		job := &Job{
+			id:      rec.ID,
+			spec:    rec.Spec,
+			key:     rec.Key,
+			rc:      NewRunContext(),
+			state:   rec.State,
+			errMsg:  rec.Error,
+			created: rec.Created,
+		}
+		job.rc.SetBlockStore(s.store)
+		if rec.State.Terminal() {
+			job.finished = rec.Updated
+			s.mu.Lock()
+			s.jobs[job.id] = job
+			s.order = append(s.order, job)
+			s.mu.Unlock()
+			recoveredCtr(prior).Inc()
+			continue
+		}
+		// Queued or running when the previous process died: re-run from
+		// the spec. Input resolution can fail now even if it succeeded
+		// then (file deleted, disk gone) — that is a real failure worth
+		// surfacing, not a recovery bug.
+		in, err := ResolveInput(rec.Spec)
+		if err != nil {
+			job.state = StateFailed
+			job.errMsg = fmt.Sprintf("jobs: recovering %s job: resolving input: %v", prior, err)
+			job.finished = time.Now()
+			s.mu.Lock()
+			s.jobs[job.id] = job
+			s.order = append(s.order, job)
+			s.mu.Unlock()
+			s.journalState(job.id, StateFailed, job.errMsg, "", job.finished)
+			s.jobFinished(StateFailed)
+			recoveredCtr(prior).Inc()
+			continue
+		}
+		job.state = StateQueued
+		job.totalTasks = PlannedTasks(rec.Spec, in)
+		job.input = in
+		s.mu.Lock()
+		job.jobSpan = s.obs.Tracer.StartRoot("job")
+		job.jobSpan.SetAttr("job", job.id)
+		job.jobSpan.SetAttr("analysis", job.spec.Analysis)
+		job.jobSpan.SetAttr("engine", job.spec.Engine)
+		job.jobSpan.SetAttr("recovered_from", string(prior))
+		if ctx := job.jobSpan.Context(); ctx.Valid() {
+			job.trace = ctx.Trace
+		}
+		job.queueSpan = s.obs.Tracer.StartChild(job.jobSpan.Context(), "queue.wait")
+		s.jobs[job.id] = job
+		s.order = append(s.order, job)
+		s.pending = append(s.pending, job)
+		s.cond.Signal()
+		s.mu.Unlock()
+		recoveredCtr(prior).Inc()
 	}
 }
 

@@ -34,7 +34,16 @@ func NewServer(s *Scheduler) http.Handler {
 		}
 		job, err := s.Submit(spec)
 		switch {
-		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		case errors.Is(err, ErrQueueFull):
+			// Load shed, not an outage: tell well-behaved clients when to
+			// come back instead of letting them hammer a full queue.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrJournal):
+			// The server's fault, not the client's: the spec was fine but
+			// durability could not be guaranteed, so nothing was admitted.
 			writeError(w, http.StatusServiceUnavailable, err)
 		case err != nil:
 			writeError(w, http.StatusBadRequest, err)
@@ -67,6 +76,14 @@ func NewServer(s *Scheduler) http.Handler {
 		res, state, errMsg := job.Result()
 		switch state {
 		case StateDone:
+			if res == nil {
+				// A done job recovered from the journal: result bodies are
+				// not journaled, only their digest, so the status survived
+				// the restart but the matrix did not. Resubmitting the same
+				// spec recomputes it byte-identically.
+				writeError(w, http.StatusGone, fmt.Errorf("result evicted on restart; resubmit the job to recompute it"))
+				return
+			}
 			writeJSON(w, http.StatusOK, res)
 		case StateFailed:
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("job failed: %s", errMsg))

@@ -1,0 +1,415 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"mdtask/internal/faultinject"
+	"mdtask/internal/obs"
+	"mdtask/internal/wal"
+)
+
+// Store is the durability sink the scheduler journals every job
+// lifecycle transition through: the submitted (normalized) spec and
+// cache key, each state change with its error message or result
+// digest, prunes of evicted terminal records, and a clean-shutdown
+// marker. A nil Store in Options leaves the scheduler memory-only
+// (the pre-durability behaviour); WALStore is the crash-recoverable
+// implementation cmd/mdserver wires in under -data-dir.
+type Store interface {
+	// JournalSubmit records an admitted job: its normalized spec, cache
+	// key, and initial state (StateQueued, or StateDone with a digest
+	// for a whole-job cache hit). A non-nil error MUST mean the record
+	// is not durable — the scheduler un-admits the job and fails the
+	// submission, so no acknowledged job can be lost.
+	JournalSubmit(rec JobRecord) error
+	// JournalState records a lifecycle transition.
+	JournalState(id string, state State, errMsg, resultDigest string, ts time.Time) error
+	// JournalPrune records the eviction of terminal job records, so
+	// replay state stays bounded alongside the in-memory table.
+	JournalPrune(ids []string) error
+	// JournalShutdown records a clean shutdown: every transition before
+	// it is known journaled.
+	JournalShutdown() error
+}
+
+// JobRecord is the durable image of one job: everything recovery
+// needs to re-admit it (specs are normalized before journaling, so
+// replay never re-validates defaults). Result bodies are NOT
+// journaled — only their digest — so a job recovered in StateDone
+// keeps its status and provenance but must be resubmitted to
+// recompute its matrix (deterministic kernels make the recomputation
+// byte-identical).
+type JobRecord struct {
+	ID      string    `json:"id"`
+	Spec    Spec      `json:"spec"`
+	Key     string    `json:"key"`
+	State   State     `json:"state"`
+	Error   string    `json:"error,omitempty"`
+	Digest  string    `json:"digest,omitempty"`
+	Created time.Time `json:"created"`
+	Updated time.Time `json:"updated"`
+}
+
+// walRecord is the JSON wire format of one journal entry. LSN is a
+// monotone sequence number persisted in snapshots, making replay of a
+// log that still carries pre-snapshot records (a crash between
+// snapshot rename and log truncation) a no-op for the already-applied
+// prefix.
+type walRecord struct {
+	LSN    uint64     `json:"lsn"`
+	T      string     `json:"t"` // submit | state | prune | shutdown
+	Job    *JobRecord `json:"job,omitempty"`
+	ID     string     `json:"id,omitempty"`
+	State  State      `json:"state,omitempty"`
+	Err    string     `json:"err,omitempty"`
+	Digest string     `json:"digest,omitempty"`
+	IDs    []string   `json:"ids,omitempty"`
+	TS     time.Time  `json:"ts,omitempty"`
+}
+
+// snapshotState is the compacted journal state: the job table at the
+// snapshot LSN.
+type snapshotState struct {
+	LSN  uint64      `json:"lsn"`
+	Jobs []JobRecord `json:"jobs"`
+}
+
+// Recovered is what OpenWALStore reconstructed from disk.
+type Recovered struct {
+	// Jobs is the recovered job table in original submission order.
+	Jobs []JobRecord
+	// Replayed counts journal records applied during recovery
+	// (including records a snapshot had already absorbed).
+	Replayed int
+	// Skipped counts records the WAL layer could not decode: a torn
+	// tail and bit-flipped (CRC-mismatched) records. Zero on a healthy
+	// log.
+	Skipped int
+	// Unreplayable counts records that decoded but could not be applied
+	// (unknown type, state for a never-submitted job, unparseable JSON).
+	// Affected jobs are surfaced as StateFailed with a reason rather
+	// than silently dropped.
+	Unreplayable int
+	// CleanShutdown reports whether the journal ends with a shutdown
+	// marker — an unclean log means the process died with the journal
+	// mid-story and recovery re-runs whatever was in flight.
+	CleanShutdown bool
+}
+
+// WALStoreOptions sizes a WALStore.
+type WALStoreOptions struct {
+	// Dir is the data directory (wal.log + snapshot live here).
+	Dir string
+	// Sync is the fsync policy (default wal.SyncAlways: an acknowledged
+	// submission survives SIGKILL).
+	Sync wal.SyncPolicy
+	// SyncInterval bounds the unsynced window under wal.SyncInterval.
+	SyncInterval time.Duration
+	// CompactBytes triggers snapshot + log truncation when the log
+	// exceeds this size (< 1: 1 MiB).
+	CompactBytes int64
+	// CompactRecords triggers compaction after this many appends since
+	// the last snapshot (< 1: 1024).
+	CompactRecords int
+}
+
+// WALStore is the durable Store: a write-ahead log of lifecycle
+// records plus a shadow job table it snapshots and compacts from.
+// All methods are safe for concurrent use.
+type WALStore struct {
+	mu           sync.Mutex
+	log          *wal.Log
+	o            WALStoreOptions
+	lsn          uint64
+	jobs         map[string]*JobRecord
+	order        []string
+	sinceCompact int
+
+	recovered   Recovered
+	journalErrs int64
+}
+
+// OpenWALStore opens (or creates) the durable job store under o.Dir
+// and replays snapshot + log into the recovered job table. The store
+// is ready for journaling on return; feed Recovered.Jobs to
+// Scheduler.Recover to re-admit them.
+func OpenWALStore(o WALStoreOptions) (*WALStore, *Recovered, error) {
+	if o.CompactBytes < 1 {
+		o.CompactBytes = 1 << 20
+	}
+	if o.CompactRecords < 1 {
+		o.CompactRecords = 1024
+	}
+	l, walRec, err := wal.Open(wal.Options{Dir: o.Dir, Sync: o.Sync, SyncInterval: o.SyncInterval})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &WALStore{
+		log:  l,
+		o:    o,
+		jobs: make(map[string]*JobRecord),
+	}
+	rec := &Recovered{Skipped: walRec.Skipped}
+	if walRec.Snapshot != nil {
+		var snap snapshotState
+		if err := json.Unmarshal(walRec.Snapshot, &snap); err != nil {
+			l.Close()
+			return nil, nil, fmt.Errorf("jobs: decoding journal snapshot: %w", err)
+		}
+		st.lsn = snap.LSN
+		for i := range snap.Jobs {
+			j := snap.Jobs[i]
+			st.jobs[j.ID] = &j
+			st.order = append(st.order, j.ID)
+		}
+	}
+	for _, raw := range walRec.Records {
+		st.apply(raw, rec)
+	}
+	st.recovered = *rec
+	rec.Jobs = st.tableLocked()
+	return st, rec, nil
+}
+
+// apply replays one raw journal record into the shadow table.
+func (st *WALStore) apply(raw []byte, rec *Recovered) {
+	var r walRecord
+	if err := json.Unmarshal(raw, &r); err != nil {
+		rec.Unreplayable++
+		rec.CleanShutdown = false
+		return
+	}
+	rec.Replayed++
+	if r.LSN <= st.lsn && st.lsn != 0 {
+		// Already absorbed by the snapshot (crash landed between
+		// snapshot rename and log truncation): re-applying is a no-op.
+		return
+	}
+	st.lsn = r.LSN
+	rec.CleanShutdown = false
+	switch r.T {
+	case "submit":
+		if r.Job == nil {
+			rec.Unreplayable++
+			return
+		}
+		j := *r.Job
+		if _, dup := st.jobs[j.ID]; !dup {
+			st.order = append(st.order, j.ID)
+		}
+		st.jobs[j.ID] = &j
+	case "state":
+		j, ok := st.jobs[r.ID]
+		if !ok {
+			// A transition without its submission (lost to a skipped
+			// region): surface the job as failed rather than dropping the
+			// evidence it existed.
+			rec.Unreplayable++
+			st.jobs[r.ID] = &JobRecord{
+				ID:    r.ID,
+				State: StateFailed,
+				Error: fmt.Sprintf("jobs: unreplayable journal: %q transition without a surviving submit record", r.State),
+			}
+			st.order = append(st.order, r.ID)
+			return
+		}
+		j.State, j.Error, j.Digest, j.Updated = r.State, r.Err, r.Digest, r.TS
+	case "prune":
+		for _, id := range r.IDs {
+			if _, ok := st.jobs[id]; ok {
+				delete(st.jobs, id)
+				for i, oid := range st.order {
+					if oid == id {
+						st.order = append(st.order[:i], st.order[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	case "shutdown":
+		rec.CleanShutdown = true
+	default:
+		rec.Unreplayable++
+	}
+}
+
+// tableLocked copies the shadow table in submission order.
+func (st *WALStore) tableLocked() []JobRecord {
+	out := make([]JobRecord, 0, len(st.order))
+	for _, id := range st.order {
+		if j, ok := st.jobs[id]; ok {
+			out = append(out, *j)
+		}
+	}
+	return out
+}
+
+// append journals one record: assign the next LSN, write it to the
+// WAL, apply it to the shadow table, and compact if the log has grown
+// past its bounds.
+func (st *WALStore) append(r walRecord, shadow func()) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := faultinject.Fire("jobs.journal"); err != nil {
+		st.journalErrs++
+		return err
+	}
+	st.lsn++
+	r.LSN = st.lsn
+	raw, err := json.Marshal(r)
+	if err != nil {
+		st.journalErrs++
+		return err
+	}
+	if err := st.log.Append(raw); err != nil {
+		st.journalErrs++
+		st.lsn--
+		return err
+	}
+	shadow()
+	st.sinceCompact++
+	if st.sinceCompact >= st.o.CompactRecords || st.log.LogBytes() >= st.o.CompactBytes {
+		st.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked snapshots the shadow table and truncates the log.
+// Failures are counted, not fatal: the un-compacted log remains fully
+// replayable.
+func (st *WALStore) compactLocked() {
+	state, err := json.Marshal(snapshotState{LSN: st.lsn, Jobs: st.tableLocked()})
+	if err != nil {
+		st.journalErrs++
+		return
+	}
+	if err := st.log.Compact(state); err != nil {
+		st.journalErrs++
+		return
+	}
+	st.sinceCompact = 0
+}
+
+// JournalSubmit implements Store.
+func (st *WALStore) JournalSubmit(rec JobRecord) error {
+	return st.append(walRecord{T: "submit", Job: &rec}, func() {
+		j := rec
+		if _, dup := st.jobs[j.ID]; !dup {
+			st.order = append(st.order, j.ID)
+		}
+		st.jobs[j.ID] = &j
+	})
+}
+
+// JournalState implements Store.
+func (st *WALStore) JournalState(id string, state State, errMsg, resultDigest string, ts time.Time) error {
+	return st.append(walRecord{T: "state", ID: id, State: state, Err: errMsg, Digest: resultDigest, TS: ts}, func() {
+		if j, ok := st.jobs[id]; ok {
+			j.State, j.Error, j.Digest, j.Updated = state, errMsg, resultDigest, ts
+		}
+	})
+}
+
+// JournalPrune implements Store.
+func (st *WALStore) JournalPrune(ids []string) error {
+	return st.append(walRecord{T: "prune", IDs: ids}, func() {
+		for _, id := range ids {
+			if _, ok := st.jobs[id]; ok {
+				delete(st.jobs, id)
+				for i, oid := range st.order {
+					if oid == id {
+						st.order = append(st.order[:i], st.order[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	})
+}
+
+// JournalShutdown implements Store. It compacts first, then appends
+// the marker, so a clean restart replays a snapshot plus exactly one
+// shutdown record instead of the whole session's log.
+func (st *WALStore) JournalShutdown() error {
+	st.mu.Lock()
+	st.compactLocked()
+	st.mu.Unlock()
+	if err := st.append(walRecord{T: "shutdown"}, func() {}); err != nil {
+		return err
+	}
+	return st.log.Sync()
+}
+
+// Close closes the underlying log.
+func (st *WALStore) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.log.Close()
+}
+
+// Recovery returns what OpenWALStore reconstructed (the job list is
+// not retained — use the Recovered returned at open).
+func (st *WALStore) Recovery() Recovered {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.recovered
+}
+
+// JournalErrors counts failed journal writes since open.
+func (st *WALStore) JournalErrors() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.journalErrs
+}
+
+// RegisterMetrics exposes the store's durability accounting on a
+// metrics registry: recovery results (replayed / skipped /
+// unreplayable record counts — `wal_records_skipped` > 0 means the
+// log saw corruption) and live WAL activity (appends, fsyncs,
+// snapshots, log size, journal errors).
+func (st *WALStore) RegisterMetrics(m *obs.Registry) {
+	m.CounterFunc("mdtask_wal_records_replayed_total",
+		"Journal records replayed during the last recovery.",
+		func() float64 { return float64(st.recovered.Replayed) })
+	m.CounterFunc("mdtask_wal_records_skipped_total",
+		"Journal records skipped during the last recovery (torn tail or CRC mismatch).",
+		func() float64 { return float64(st.recovered.Skipped) })
+	m.CounterFunc("mdtask_wal_records_unreplayable_total",
+		"Journal records that decoded but could not be applied; affected jobs are marked failed.",
+		func() float64 { return float64(st.recovered.Unreplayable) })
+	m.CounterFunc("mdtask_wal_appends_total",
+		"Records appended to the job journal since boot.",
+		func() float64 { return float64(st.log.Stats().Appends) })
+	m.CounterFunc("mdtask_wal_fsyncs_total",
+		"fsyncs issued by the job journal since boot.",
+		func() float64 { return float64(st.log.Stats().Syncs) })
+	m.CounterFunc("mdtask_wal_snapshots_total",
+		"Snapshot + compaction cycles since boot.",
+		func() float64 { return float64(st.log.Stats().Snapshots) })
+	m.GaugeFunc("mdtask_wal_log_bytes",
+		"Current size of the job journal's append-only log.",
+		func() float64 { return float64(st.log.LogBytes()) })
+	m.CounterFunc("mdtask_wal_journal_errors_total",
+		"Journal writes that failed (the affected submissions were rejected).",
+		func() float64 { return float64(st.JournalErrors()) })
+}
+
+// resultDigestOf content-addresses a job result (hex SHA-256 of its
+// canonical JSON encoding); journaled so a recovered StateDone record
+// can be checked against a recomputation.
+func resultDigestOf(r *Result) string {
+	if r == nil {
+		return ""
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}

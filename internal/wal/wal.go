@@ -1,0 +1,422 @@
+// Package wal is a minimal, stdlib-only write-ahead record log with
+// periodic snapshot + compaction, built for the durable job store but
+// agnostic to what the records mean.
+//
+// On-disk layout under a data directory:
+//
+//	wal.log   append-only records: [len uint32 LE][crc32 uint32 LE][payload]
+//	snapshot  latest compacted state: "MDTSNAP1" magic + one framed record
+//
+// Durability contract: a record whose Append returned nil under the
+// SyncAlways policy survives a process kill at any instant. Recovery
+// tolerates a torn tail (a crash mid-write truncates back to the last
+// complete record) and skips individual bit-flipped records (CRC
+// mismatch with a plausible frame) without losing their neighbours;
+// both cases are counted so callers can alert instead of silently
+// dropping state. Snapshots are written to a temp file, fsynced, and
+// renamed into place, so a crash anywhere in Compact leaves either the
+// old snapshot + full log or the new snapshot + (possibly) a log still
+// carrying pre-snapshot records — callers make replay-over-snapshot a
+// no-op by tagging records with a sequence number (see jobs.WALStore).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mdtask/internal/faultinject"
+)
+
+const (
+	logName      = "wal.log"
+	snapName     = "snapshot"
+	snapMagic    = "MDTSNAP1"
+	headerSize   = 8        // uint32 length + uint32 CRC
+	maxRecordLen = 64 << 20 // structural sanity bound: larger lengths are treated as corruption
+)
+
+// SyncPolicy selects when Append fsyncs the log.
+type SyncPolicy string
+
+// Sync policies. SyncAlways fsyncs every append (the durability
+// default: an acknowledged record survives SIGKILL). SyncInterval
+// fsyncs at most once per Options.SyncInterval, piggybacked on
+// appends — bounded data loss for bursty workloads. SyncNever leaves
+// flushing to the OS.
+const (
+	SyncAlways   SyncPolicy = "always"
+	SyncInterval SyncPolicy = "interval"
+	SyncNever    SyncPolicy = "never"
+)
+
+// ParseSyncPolicy validates a policy name ("" defaults to SyncAlways).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case "":
+		return SyncAlways, nil
+	case SyncAlways, SyncInterval, SyncNever:
+		return SyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("wal: unknown sync policy %q (want always|interval|never)", s)
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory (created if missing).
+	Dir string
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval bounds the unsynced window under SyncInterval
+	// (default 100ms).
+	SyncInterval time.Duration
+}
+
+// Recovery is what Open found on disk: the latest snapshot payload
+// (nil if none), every decodable record appended after it was taken,
+// and the corruption accounting.
+type Recovery struct {
+	// Snapshot is the latest snapshot payload, nil when none exists.
+	Snapshot []byte
+	// Records are the log's decodable records, in append order.
+	Records [][]byte
+	// Skipped counts undecodable regions: a torn tail (one) and each
+	// complete-but-CRC-mismatched record. Zero on a healthy log.
+	Skipped int
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Log struct {
+	mu       sync.Mutex
+	dir      string
+	f        *os.File
+	off      int64 // end of the last complete record; appends go here
+	policy   SyncPolicy
+	interval time.Duration
+	lastSync time.Time
+	closed   bool
+
+	appends   int64
+	syncs     int64
+	snapshots int64
+}
+
+// Open creates or recovers the log under o.Dir, returning the log
+// positioned for appends and everything recovery found. A torn tail is
+// truncated away so subsequent appends land on a clean boundary.
+func Open(o Options) (*Log, Recovery, error) {
+	if o.Sync == "" {
+		o.Sync = SyncAlways
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	var rec Recovery
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, rec, fmt.Errorf("wal: creating %s: %w", o.Dir, err)
+	}
+	snap, err := readSnapshot(filepath.Join(o.Dir, snapName))
+	if err != nil {
+		return nil, rec, err
+	}
+	rec.Snapshot = snap
+
+	f, err := os.OpenFile(filepath.Join(o.Dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, rec, fmt.Errorf("wal: opening log: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, rec, fmt.Errorf("wal: reading log: %w", err)
+	}
+	records, off, skipped := scan(data)
+	rec.Records = records
+	rec.Skipped = skipped
+	if off < int64(len(data)) {
+		// Torn tail: drop it so the next append starts a clean frame.
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, rec, err
+	}
+	l := &Log{
+		dir: o.Dir, f: f, off: off,
+		policy: o.Sync, interval: o.SyncInterval, lastSync: time.Now(),
+	}
+	return l, rec, nil
+}
+
+// scan decodes the framed records in data, returning them, the offset
+// just past the last structurally complete record (where appends
+// resume), and the count of skipped regions. A complete frame with a
+// CRC mismatch is skipped and scanning continues (a flipped bit should
+// not orphan every later record); an implausible length or a frame
+// running past EOF is a torn tail and ends the scan.
+func scan(data []byte) (records [][]byte, off int64, skipped int) {
+	pos := 0
+	for {
+		if pos == len(data) {
+			return records, int64(pos), skipped
+		}
+		if len(data)-pos < headerSize {
+			return records, int64(pos), skipped + 1 // torn header
+		}
+		n := binary.LittleEndian.Uint32(data[pos:])
+		crc := binary.LittleEndian.Uint32(data[pos+4:])
+		if n > maxRecordLen || pos+headerSize+int(n) > len(data) {
+			return records, int64(pos), skipped + 1 // torn or garbage frame
+		}
+		payload := data[pos+headerSize : pos+headerSize+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			skipped++
+		} else {
+			records = append(records, append([]byte(nil), payload...))
+		}
+		pos += headerSize + int(n)
+		off = int64(pos)
+	}
+}
+
+// Append writes one record and, per the sync policy, fsyncs before
+// returning. On any write error the log rolls back to the last good
+// boundary (best effort), so a failed Append never leaves a frame a
+// future recovery could half-trust.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > maxRecordLen {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), maxRecordLen)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[headerSize:], payload)
+	if ferr := faultinject.Fire("wal.append"); ferr != nil {
+		if errors.Is(ferr, faultinject.ErrPartial) {
+			// Simulated torn write: half a frame hits the disk and the log
+			// declares itself dead, as a crashed process would. Recovery
+			// (a fresh Open on the same dir) must truncate the tail away.
+			_, _ = l.f.Write(frame[:len(frame)/2])
+			_ = l.f.Sync()
+			l.closed = true
+		}
+		return ferr
+	}
+	n, err := l.f.Write(frame)
+	if err != nil {
+		l.rollback(int64(n))
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.off += int64(len(frame))
+	l.appends++
+	return l.maybeSyncLocked()
+}
+
+// rollback best-effort truncates a partial frame after a failed write.
+func (l *Log) rollback(wrote int64) {
+	if wrote > 0 {
+		_ = l.f.Truncate(l.off)
+		_, _ = l.f.Seek(l.off, io.SeekStart)
+	}
+}
+
+// maybeSyncLocked applies the sync policy after an append.
+func (l *Log) maybeSyncLocked() error {
+	switch l.policy {
+	case SyncNever:
+		return nil
+	case SyncInterval:
+		if time.Since(l.lastSync) < l.interval {
+			return nil
+		}
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := faultinject.Fire("wal.sync"); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.syncs++
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	return l.syncLocked()
+}
+
+// Compact atomically replaces the snapshot with state and resets the
+// log: temp write + fsync + rename + directory fsync, then truncate.
+// After Compact returns, recovery sees state plus only the records
+// appended afterwards. A crash between rename and truncate leaves old
+// records in the log; callers must make replaying them over the new
+// snapshot a no-op.
+func (l *Log) Compact(state []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	if err := writeSnapshot(l.dir, state); err != nil {
+		return err
+	}
+	if err := faultinject.Fire("wal.compact.truncate"); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncating log after snapshot: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.off = 0
+	l.snapshots++
+	if l.policy != SyncNever {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Close fsyncs (unless SyncNever) and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.policy != SyncNever {
+		if serr := l.f.Sync(); serr == nil {
+			l.syncs++
+		} else {
+			err = serr
+		}
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats is the log's operation accounting plus its current size.
+type Stats struct {
+	Appends   int64
+	Syncs     int64
+	Snapshots int64
+	LogBytes  int64
+}
+
+// Stats snapshots the log's accounting.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Appends: l.appends, Syncs: l.syncs, Snapshots: l.snapshots, LogBytes: l.off}
+}
+
+// LogBytes returns the current log size (appended, structurally valid
+// bytes).
+func (l *Log) LogBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
+}
+
+// writeSnapshot writes state to dir/snapshot via temp + fsync + atomic
+// rename + directory fsync.
+func writeSnapshot(dir string, state []byte) error {
+	if err := faultinject.Fire("wal.snapshot.write"); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, snapName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	frame := make([]byte, len(snapMagic)+headerSize+len(state))
+	copy(frame, snapMagic)
+	binary.LittleEndian.PutUint32(frame[len(snapMagic):], uint32(len(state)))
+	binary.LittleEndian.PutUint32(frame[len(snapMagic)+4:], crc32.ChecksumIEEE(state))
+	copy(frame[len(snapMagic)+headerSize:], state)
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: snapshot fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, snapName)); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// readSnapshot loads and validates dir/snapshot; a missing file is
+// (nil, nil). The rename protocol makes a torn snapshot impossible
+// short of disk corruption, so validation failures are fatal rather
+// than silently discarded state.
+func readSnapshot(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading snapshot: %w", err)
+	}
+	if len(data) < len(snapMagic)+headerSize || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("wal: snapshot %s is corrupt (bad magic)", path)
+	}
+	n := binary.LittleEndian.Uint32(data[len(snapMagic):])
+	crc := binary.LittleEndian.Uint32(data[len(snapMagic)+4:])
+	payload := data[len(snapMagic)+headerSize:]
+	if int(n) != len(payload) {
+		return nil, fmt.Errorf("wal: snapshot %s is corrupt (length %d, have %d bytes)", path, n, len(payload))
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("wal: snapshot %s is corrupt (CRC mismatch)", path)
+	}
+	return payload, nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", dir, err)
+	}
+	return nil
+}
