@@ -228,9 +228,9 @@ func run(ctx context.Context, cfg serverConfig) error {
 				requeued++
 			}
 		}
-		log.Printf("mdserver journal %s: recovered %d job(s) (%d re-enqueued), replayed=%d skipped=%d unreplayable=%d clean_shutdown=%v",
+		log.Printf("mdserver journal %s: recovered %d job(s) (%d re-enqueued), replayed=%d skipped=%d skipped_bytes=%d unreplayable=%d clean_shutdown=%v",
 			cfg.dataDir, len(recovered.Jobs), requeued,
-			recovered.Replayed, recovered.Skipped, recovered.Unreplayable, recovered.CleanShutdown)
+			recovered.Replayed, recovered.Skipped, recovered.SkippedBytes, recovered.Unreplayable, recovered.CleanShutdown)
 	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

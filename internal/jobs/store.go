@@ -86,10 +86,14 @@ type Recovered struct {
 	// Replayed counts journal records applied during recovery
 	// (including records a snapshot had already absorbed).
 	Replayed int
-	// Skipped counts records the WAL layer could not decode: a torn
-	// tail and bit-flipped (CRC-mismatched) records. Zero on a healthy
-	// log.
+	// Skipped counts regions the WAL layer could not decode: a torn
+	// tail and bit-flipped (CRC-mismatched or corrupted-header)
+	// records. Zero on a healthy log.
 	Skipped int
+	// SkippedBytes is the total size of the skipped regions — one
+	// frame's worth for a flipped bit, everything after the damage for
+	// a lost log suffix.
+	SkippedBytes int64
 	// Unreplayable counts records that decoded but could not be applied
 	// (unknown type, state for a never-submitted job, unparseable JSON).
 	// Affected jobs are surfaced as StateFailed with a reason rather
@@ -154,7 +158,7 @@ func OpenWALStore(o WALStoreOptions) (*WALStore, *Recovered, error) {
 		o:    o,
 		jobs: make(map[string]*JobRecord),
 	}
-	rec := &Recovered{Skipped: walRec.Skipped}
+	rec := &Recovered{Skipped: walRec.Skipped, SkippedBytes: walRec.SkippedBytes}
 	if walRec.Snapshot != nil {
 		var snap snapshotState
 		if err := json.Unmarshal(walRec.Snapshot, &snap); err != nil {
@@ -168,16 +172,26 @@ func OpenWALStore(o WALStoreOptions) (*WALStore, *Recovered, error) {
 			st.order = append(st.order, j.ID)
 		}
 	}
+	// The guard below compares against the LSN the snapshot was taken
+	// at, NOT the running st.lsn: replay is last-writer-wins, so a
+	// duplicate LSN in the log (a failed append whose rollback did not
+	// reach the disk before a crash, followed by a reuse of its number)
+	// applies both records in order instead of silently dropping the
+	// acknowledged one.
+	snapLSN := st.lsn
 	for _, raw := range walRec.Records {
-		st.apply(raw, rec)
+		st.apply(raw, snapLSN, rec)
 	}
 	st.recovered = *rec
 	rec.Jobs = st.tableLocked()
 	return st, rec, nil
 }
 
-// apply replays one raw journal record into the shadow table.
-func (st *WALStore) apply(raw []byte, rec *Recovered) {
+// apply replays one raw journal record into the shadow table. snapLSN
+// is the LSN the snapshot (if any) was taken at; records at or below
+// it were already absorbed. Above it, records apply unconditionally —
+// last-writer-wins on a duplicate LSN (see OpenWALStore).
+func (st *WALStore) apply(raw []byte, snapLSN uint64, rec *Recovered) {
 	var r walRecord
 	if err := json.Unmarshal(raw, &r); err != nil {
 		rec.Unreplayable++
@@ -185,12 +199,14 @@ func (st *WALStore) apply(raw []byte, rec *Recovered) {
 		return
 	}
 	rec.Replayed++
-	if r.LSN <= st.lsn && st.lsn != 0 {
+	if r.LSN <= snapLSN {
 		// Already absorbed by the snapshot (crash landed between
 		// snapshot rename and log truncation): re-applying is a no-op.
 		return
 	}
-	st.lsn = r.LSN
+	if r.LSN > st.lsn {
+		st.lsn = r.LSN
+	}
 	rec.CleanShutdown = false
 	switch r.T {
 	case "submit":
@@ -334,12 +350,27 @@ func (st *WALStore) JournalPrune(ids []string) error {
 
 // JournalShutdown implements Store. It compacts first, then appends
 // the marker, so a clean restart replays a snapshot plus exactly one
-// shutdown record instead of the whole session's log.
+// shutdown record instead of the whole session's log. The marker is
+// written outside the compaction accounting: a compaction triggered
+// by the marker's own append (CompactRecords=1) would truncate it and
+// make the clean shutdown replay as unclean.
 func (st *WALStore) JournalShutdown() error {
 	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.compactLocked()
-	st.mu.Unlock()
-	if err := st.append(walRecord{T: "shutdown"}, func() {}); err != nil {
+	if err := faultinject.Fire("jobs.journal"); err != nil {
+		st.journalErrs++
+		return err
+	}
+	st.lsn++
+	raw, err := json.Marshal(walRecord{LSN: st.lsn, T: "shutdown"})
+	if err != nil {
+		st.journalErrs++
+		return err
+	}
+	if err := st.log.Append(raw); err != nil {
+		st.journalErrs++
+		st.lsn--
 		return err
 	}
 	return st.log.Sync()
@@ -377,8 +408,11 @@ func (st *WALStore) RegisterMetrics(m *obs.Registry) {
 		"Journal records replayed during the last recovery.",
 		func() float64 { return float64(st.recovered.Replayed) })
 	m.CounterFunc("mdtask_wal_records_skipped_total",
-		"Journal records skipped during the last recovery (torn tail or CRC mismatch).",
+		"Journal regions skipped during the last recovery (torn tail or CRC mismatch).",
 		func() float64 { return float64(st.recovered.Skipped) })
+	m.CounterFunc("mdtask_wal_bytes_skipped_total",
+		"Total size of the journal regions skipped during the last recovery.",
+		func() float64 { return float64(st.recovered.SkippedBytes) })
 	m.CounterFunc("mdtask_wal_records_unreplayable_total",
 		"Journal records that decoded but could not be applied; affected jobs are marked failed.",
 		func() float64 { return float64(st.recovered.Unreplayable) })

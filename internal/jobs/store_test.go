@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mdtask/internal/faultinject"
+	"mdtask/internal/wal"
 )
 
 // openStore opens a WALStore in dir, failing the test on error.
@@ -293,6 +294,110 @@ func TestWALStoreUnreplayableTransition(t *testing.T) {
 	}
 	if orphan == nil || orphan.State != StateFailed || orphan.Error == "" {
 		t.Fatalf("orphaned transition not surfaced as failed: %+v", orphan)
+	}
+}
+
+// TestWALStoreFsyncFailureDoesNotLoseNextJob is the reviewer scenario
+// for the fsync-failure path: a submission rejected because the WAL
+// fsync failed must leave no frame behind and must not burn an LSN a
+// later acknowledged submission silently collides with.
+func TestWALStoreFsyncFailureDoesNotLoseNextJob(t *testing.T) {
+	t.Cleanup(faultinject.Deactivate)
+	dir := t.TempDir()
+	st, _ := openStore(t, dir)
+	if err := faultinject.Activate("wal.sync=error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.JournalSubmit(testRecord("job-000001")); err == nil {
+		t.Fatal("submit under fsync failure succeeded, want error")
+	}
+	faultinject.Deactivate()
+	if err := st.JournalSubmit(testRecord("job-000002")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2, rec := openStore(t, dir)
+	defer st2.Close()
+	if len(rec.Jobs) != 1 || rec.Jobs[0].ID != "job-000002" {
+		t.Fatalf("recovered %+v, want exactly the acknowledged job-000002 (rejected job gone, acknowledged job kept)", rec.Jobs)
+	}
+	if rec.Skipped != 0 || rec.Unreplayable != 0 {
+		t.Errorf("recovery reported skipped=%d unreplayable=%d, want 0/0", rec.Skipped, rec.Unreplayable)
+	}
+}
+
+// TestWALStoreDuplicateLSNLastWriterWins hand-crafts the disk image of
+// a failed append whose rollback never reached the disk: the rejected
+// frame survived at LSN 1 and the next acknowledged submission reused
+// the number. Replay must apply both records (last-writer-wins), not
+// silently drop the acknowledged one.
+func TestWALStoreDuplicateLSNLastWriterWins(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost, acked := testRecord("job-000001"), testRecord("job-000002")
+	for _, r := range []walRecord{
+		{LSN: 1, T: "submit", Job: &ghost},
+		{LSN: 1, T: "submit", Job: &acked},
+		{LSN: 2, T: "state", ID: "job-000002", State: StateRunning, TS: time.Unix(1700000003, 0).UTC()},
+	} {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, rec := openStore(t, dir)
+	defer st.Close()
+	var got *JobRecord
+	for i := range rec.Jobs {
+		if rec.Jobs[i].ID == "job-000002" {
+			got = &rec.Jobs[i]
+		}
+	}
+	if got == nil || got.State != StateRunning {
+		t.Fatalf("acknowledged job-000002 lost to the duplicate LSN: recovered %+v", rec.Jobs)
+	}
+	// New appends must continue past the replayed maximum.
+	if err := st.JournalSubmit(testRecord("job-000003")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2, rec2 := openStore(t, dir)
+	defer st2.Close()
+	if len(rec2.Jobs) != 3 {
+		t.Fatalf("recovered %d jobs after post-replay submit, want 3", len(rec2.Jobs))
+	}
+}
+
+// TestWALStoreShutdownMarkerSurvivesAggressiveCompaction: with
+// CompactRecords=1 the marker's own append must not trigger a
+// compaction that truncates it, turning a clean shutdown into an
+// unclean replay.
+func TestWALStoreShutdownMarkerSurvivesAggressiveCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStore(t, dir, func(o *WALStoreOptions) { o.CompactRecords = 1 })
+	if err := st.JournalSubmit(testRecord("job-000001")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.JournalShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2, rec := openStore(t, dir)
+	defer st2.Close()
+	if !rec.CleanShutdown {
+		t.Error("shutdown marker lost to the compaction it triggered itself")
+	}
+	if len(rec.Jobs) != 1 || rec.Jobs[0].ID != "job-000001" {
+		t.Fatalf("recovered %+v, want the one submitted job", rec.Jobs)
 	}
 }
 

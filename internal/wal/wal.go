@@ -8,12 +8,15 @@
 //	snapshot  latest compacted state: "MDTSNAP1" magic + one framed record
 //
 // Durability contract: a record whose Append returned nil under the
-// SyncAlways policy survives a process kill at any instant. Recovery
-// tolerates a torn tail (a crash mid-write truncates back to the last
-// complete record) and skips individual bit-flipped records (CRC
-// mismatch with a plausible frame) without losing their neighbours;
-// both cases are counted so callers can alert instead of silently
-// dropping state. Snapshots are written to a temp file, fsynced, and
+// SyncAlways policy survives a process kill at any instant; an Append
+// that returned an error leaves no frame behind (a frame written but
+// not fsynced is truncated away). Recovery tolerates a torn tail (a
+// crash mid-write truncates back to the last complete record) and
+// skips bit-flipped records — payload or header — by resynchronizing
+// at the next frame whose CRC validates, so corruption orphans one
+// region, not every later record; skipped regions are counted, with
+// their byte size, so callers can alert instead of silently dropping
+// state. Snapshots are written to a temp file, fsynced, and
 // renamed into place, so a crash anywhere in Compact leaves either the
 // old snapshot + full log or the new snapshot + (possibly) a log still
 // carrying pre-snapshot records — callers make replay-over-snapshot a
@@ -86,9 +89,14 @@ type Recovery struct {
 	Snapshot []byte
 	// Records are the log's decodable records, in append order.
 	Records [][]byte
-	// Skipped counts undecodable regions: a torn tail (one) and each
-	// complete-but-CRC-mismatched record. Zero on a healthy log.
+	// Skipped counts undecodable regions: a torn tail, a
+	// CRC-mismatched record, or a corrupted-header gap the scan
+	// resynchronized past. Zero on a healthy log.
 	Skipped int
+	// SkippedBytes is the total size of the skipped regions — the
+	// telltale separating one flipped bit (a single frame's worth)
+	// from a lost log suffix (everything after the damage).
+	SkippedBytes int64
 }
 
 // Log is an open write-ahead log. All methods are safe for concurrent
@@ -137,9 +145,10 @@ func Open(o Options) (*Log, Recovery, error) {
 		f.Close()
 		return nil, rec, fmt.Errorf("wal: reading log: %w", err)
 	}
-	records, off, skipped := scan(data)
+	records, off, skipped, skippedBytes := scan(data)
 	rec.Records = records
 	rec.Skipped = skipped
+	rec.SkippedBytes = skippedBytes
 	if off < int64(len(data)) {
 		// Torn tail: drop it so the next append starts a clean frame.
 		if err := f.Truncate(off); err != nil {
@@ -159,40 +168,76 @@ func Open(o Options) (*Log, Recovery, error) {
 }
 
 // scan decodes the framed records in data, returning them, the offset
-// just past the last structurally complete record (where appends
-// resume), and the count of skipped regions. A complete frame with a
-// CRC mismatch is skipped and scanning continues (a flipped bit should
-// not orphan every later record); an implausible length or a frame
-// running past EOF is a torn tail and ends the scan.
-func scan(data []byte) (records [][]byte, off int64, skipped int) {
+// just past the last decodable record (where appends resume — any
+// trailing bytes beyond it are truncated by Open), the count of
+// skipped regions, and the skipped regions' total size. A frame that
+// fails to validate — implausible length, running past EOF, or a CRC
+// mismatch — starts a skipped region; the scan resynchronizes at the
+// next offset holding a frame whose payload CRC validates, so a
+// flipped bit (in a payload OR a header) orphans one region, not
+// every later record. A region with no valid frame after it is the
+// torn tail and ends the scan.
+func scan(data []byte) (records [][]byte, off int64, skipped int, skippedBytes int64) {
 	pos := 0
-	for {
-		if pos == len(data) {
-			return records, int64(pos), skipped
-		}
-		if len(data)-pos < headerSize {
-			return records, int64(pos), skipped + 1 // torn header
-		}
-		n := binary.LittleEndian.Uint32(data[pos:])
-		crc := binary.LittleEndian.Uint32(data[pos+4:])
-		if n > maxRecordLen || pos+headerSize+int(n) > len(data) {
-			return records, int64(pos), skipped + 1 // torn or garbage frame
-		}
-		payload := data[pos+headerSize : pos+headerSize+int(n)]
-		if crc32.ChecksumIEEE(payload) != crc {
-			skipped++
-		} else {
+	for pos < len(data) {
+		if n, ok := validFrameAt(data, pos); ok {
+			payload := data[pos+headerSize : pos+headerSize+n]
 			records = append(records, append([]byte(nil), payload...))
+			pos += headerSize + n
+			off = int64(pos)
+			continue
 		}
-		pos += headerSize + int(n)
-		off = int64(pos)
+		skipped++
+		next := resync(data, pos+1)
+		if next < 0 {
+			skippedBytes += int64(len(data) - pos)
+			return records, off, skipped, skippedBytes
+		}
+		skippedBytes += int64(next - pos)
+		pos = next
 	}
+	return records, off, skipped, skippedBytes
+}
+
+// validFrameAt reports whether pos holds a structurally plausible
+// frame whose payload checksum validates, and its payload length.
+func validFrameAt(data []byte, pos int) (n int, ok bool) {
+	if len(data)-pos < headerSize {
+		return 0, false
+	}
+	ln := binary.LittleEndian.Uint32(data[pos:])
+	if ln > maxRecordLen || pos+headerSize+int(ln) > len(data) {
+		return 0, false
+	}
+	crc := binary.LittleEndian.Uint32(data[pos+4:])
+	if crc32.ChecksumIEEE(data[pos+headerSize:pos+headerSize+int(ln)]) != crc {
+		return 0, false
+	}
+	return int(ln), true
+}
+
+// resync scans forward from pos for the next offset holding a valid
+// frame — the point the log becomes trustworthy again after a
+// corrupted region. The CRC check makes a false resync (random bytes
+// parsing as a valid frame) a ~2^-32 event per offset. Returns -1
+// when nothing before EOF validates: the region is the torn tail.
+func resync(data []byte, pos int) int {
+	for ; len(data)-pos >= headerSize; pos++ {
+		if _, ok := validFrameAt(data, pos); ok {
+			return pos
+		}
+	}
+	return -1
 }
 
 // Append writes one record and, per the sync policy, fsyncs before
-// returning. On any write error the log rolls back to the last good
-// boundary (best effort), so a failed Append never leaves a frame a
-// future recovery could half-trust.
+// returning. On any error — a failed write OR a failed post-write
+// fsync — the log rolls back to the last good boundary (truncating
+// the frame away), so a failed Append never leaves a frame a future
+// recovery could half-trust. Callers that key state off Append's
+// success (e.g. LSN assignment) should still treat a duplicate as
+// possible after a crash, since the rollback itself is not guaranteed
+// to reach the disk before a power loss.
 func (l *Log) Append(payload []byte) error {
 	if len(payload) > maxRecordLen {
 		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), maxRecordLen)
@@ -223,15 +268,30 @@ func (l *Log) Append(payload []byte) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.off += int64(len(frame))
+	if err := l.maybeSyncLocked(); err != nil {
+		// The frame reached the file but its durability is unknown. Roll
+		// it back so the failed Append leaves nothing behind: otherwise a
+		// submission rejected here would resurface at the next recovery,
+		// and a caller reusing its sequence number would silently collide
+		// with the ghost frame.
+		l.off -= int64(len(frame))
+		l.rollback(int64(n))
+		return err
+	}
 	l.appends++
-	return l.maybeSyncLocked()
+	return nil
 }
 
-// rollback best-effort truncates a partial frame after a failed write.
+// rollback best-effort truncates a partial or unsyncable frame after a
+// failed append, restoring the last good boundary at l.off. The
+// truncation is followed by a raw fsync so the removal itself is as
+// durable as the environment allows; both are best effort — replay
+// layers must tolerate a frame that survives anyway (see Append).
 func (l *Log) rollback(wrote int64) {
 	if wrote > 0 {
 		_ = l.f.Truncate(l.off)
 		_, _ = l.f.Seek(l.off, io.SeekStart)
+		_ = l.f.Sync()
 	}
 }
 

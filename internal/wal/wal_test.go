@@ -290,6 +290,83 @@ func TestInjectedAppendErrorLeavesLogClean(t *testing.T) {
 	}
 }
 
+// TestSyncFailureRollsBackFrame arms the wal.sync fault point: an
+// Append whose post-write fsync fails must roll its frame back, so the
+// rejected record cannot resurface at the next recovery (and a caller
+// reusing its sequence number cannot collide with a ghost frame).
+func TestSyncFailureRollsBackFrame(t *testing.T) {
+	t.Cleanup(faultinject.Deactivate)
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	if err := l.Append([]byte("ok-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Activate("wal.sync=error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("ghost")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Append under fsync failure = %v, want ErrInjected", err)
+	}
+	faultinject.Deactivate()
+	if err := l.Append([]byte("ok-2")); err != nil {
+		t.Fatalf("append after recovered fsync failure: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir)
+	if !sameRecords(rec.Records, [][]byte{[]byte("ok-1"), []byte("ok-2")}) || rec.Skipped != 0 {
+		t.Fatalf("log after failed fsync: %d records, skipped %d — the unsynced frame must not survive",
+			len(rec.Records), rec.Skipped)
+	}
+}
+
+// TestHeaderCorruptionResyncs flips every byte of a middle record's
+// header in turn: whether the damage lands in the length or the CRC
+// field, recovery must lose only that record — the scan resynchronizes
+// at the next valid frame instead of truncating the rest of the log —
+// and must report the skipped region with its byte size.
+func TestHeaderCorruptionResyncs(t *testing.T) {
+	src := t.TempDir()
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma"), []byte("delta")}
+	l, _ := openT(t, src)
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(src, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := (headerSize + len(recs[0])) + (headerSize + len(recs[1])) // record 2's header
+	want := [][]byte{recs[0], recs[1], recs[3]}
+	for b := 0; b < headerSize; b++ {
+		dir := filepath.Join(t.TempDir(), "flip")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		mut := append([]byte(nil), data...)
+		mut[start+b] ^= 0xFF
+		if err := os.WriteFile(filepath.Join(dir, logName), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, rec := openT(t, dir)
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !sameRecords(rec.Records, want) {
+			t.Fatalf("header byte %d flipped: recovered %d records, want all but the damaged one", b, len(rec.Records))
+		}
+		if rec.Skipped != 1 {
+			t.Errorf("header byte %d flipped: skipped = %d, want 1", b, rec.Skipped)
+		}
+		if rec.SkippedBytes != int64(headerSize+len(recs[2])) {
+			t.Errorf("header byte %d flipped: skipped bytes = %d, want the one damaged frame (%d)",
+				b, rec.SkippedBytes, headerSize+len(recs[2]))
+		}
+	}
+}
+
 // TestReplayDeterministic: opening the same directory twice (read-only
 // crash replay) yields byte-identical recoveries.
 func TestReplayDeterministic(t *testing.T) {
