@@ -4,7 +4,7 @@ SMOKE_PORT ?= 18077
 BENCH_CURRENT ?= /tmp/mdtask-bench-current.json
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json bench-gate fmt vet serve smoke-serve smoke-fleet smoke-stream smoke-cache smoke-obs smoke-crash fuzz race
+.PHONY: build test bench bench-json bench-gate docslint fmt vet serve smoke-serve smoke-fleet smoke-stream smoke-cache smoke-obs smoke-crash fuzz race
 
 build:
 	$(GO) build ./...
@@ -116,6 +116,12 @@ bench-json:
 bench-gate:
 	MDTASK_BENCH_JSON=$(BENCH_CURRENT) $(GO) test -count=1 ./internal/bench/ -run TestWriteBenchPSAJSON
 	$(GO) run ./cmd/benchgate -baseline $(CURDIR)/BENCH_psa.json -current $(BENCH_CURRENT)
+
+# Documentation lint: every internal/cmd package must carry a
+# substantive package doc comment stating its role and pipeline place
+# (see scripts/docslint.sh). Gating in CI.
+docslint:
+	sh scripts/docslint.sh
 
 fmt:
 	gofmt -l .

@@ -6,7 +6,10 @@
 // Only the deterministic frame-pair counters gate — PairsEvaluated,
 // the pruned fraction, and the scheduled-pair total. Wall-clock
 // (ns_per_op) is machine-dependent noise on shared CI runners and is
-// deliberately ignored.
+// deliberately ignored. On top of the relative comparison, one
+// absolute rule guards the indexed kernel's reason to exist: on every
+// ensemble measuring both methods, indexed must complete strictly
+// fewer full evaluations than pruned.
 //
 // Usage:
 //
@@ -48,6 +51,8 @@ type benchMethod struct {
 	PairsPruned    int64   `json:"pairs_pruned"`
 	PairsAbandoned int64   `json:"pairs_abandoned"`
 	PrunedFraction float64 `json:"pruned_fraction"`
+	NodesVisited   int64   `json:"nodes_visited,omitempty"`
+	NodesPruned    int64   `json:"nodes_pruned,omitempty"`
 }
 
 // benchBlockCache is the block-store effectiveness record: every field
@@ -137,6 +142,7 @@ func load(path string) (benchFile, error) {
 // or recording regression show up as a mismatch here).
 func gate(baseline, current benchFile, tol float64) (violations, improvements []string) {
 	violations = append(violations, gateBlockCache(baseline.BlockCache, current.BlockCache)...)
+	violations = append(violations, gateIndexedReduction(current)...)
 	cur := make(map[string]benchMethod)
 	for _, e := range current.Ensembles {
 		for _, m := range e.Methods {
@@ -176,6 +182,36 @@ func gate(baseline, current benchFile, tol float64) (violations, improvements []
 		}
 	}
 	return violations, improvements
+}
+
+// gateIndexedReduction enforces the ball-tree kernel's reason to
+// exist: on every ensemble of the current run that measures both
+// methods, indexed must complete strictly fewer full dRMS evaluations
+// than pruned (the counters are deterministic, so "strictly fewer" is
+// a stable property, not a flaky threshold — see docs/kernels.md). The
+// rule is absolute on the current run, not relative to the baseline:
+// a regenerated baseline cannot launder the property away.
+func gateIndexedReduction(current benchFile) (violations []string) {
+	for _, e := range current.Ensembles {
+		var pruned, indexed *benchMethod
+		for i := range e.Methods {
+			switch e.Methods[i].Method {
+			case "pruned":
+				pruned = &e.Methods[i]
+			case "indexed":
+				indexed = &e.Methods[i]
+			}
+		}
+		if pruned == nil || indexed == nil {
+			continue
+		}
+		if indexed.PairsEvaluated >= pruned.PairsEvaluated {
+			violations = append(violations, fmt.Sprintf(
+				"%s: indexed evaluated %d pairs, want strictly fewer than pruned's %d",
+				e.Kind, indexed.PairsEvaluated, pruned.PairsEvaluated))
+		}
+	}
+	return violations
 }
 
 // gateBlockCache compares the block-store scenario counters exactly.

@@ -13,6 +13,7 @@ func baselineFixture() benchFile {
 			Methods: []benchMethod{
 				{Method: "naive", PairsEvaluated: 1000, PairsPruned: 0, PairsAbandoned: 0, PrunedFraction: 0},
 				{Method: "pruned", PairsEvaluated: 100, PairsPruned: 800, PairsAbandoned: 100, PrunedFraction: 0.9},
+				{Method: "indexed", PairsEvaluated: 90, PairsPruned: 810, PairsAbandoned: 100, PrunedFraction: 0.91, NodesVisited: 40, NodesPruned: 10},
 			},
 		}},
 	}
@@ -52,10 +53,23 @@ func TestGateCatchesScheduleDrift(t *testing.T) {
 
 func TestGateCatchesMissingMeasurement(t *testing.T) {
 	cur := baselineFixture()
-	cur.Ensembles[0].Methods = cur.Ensembles[0].Methods[:1]
+	cur.Ensembles[0].Methods = cur.Ensembles[0].Methods[:2]
 	v, _ := gate(baselineFixture(), cur, 0.02)
 	if len(v) != 1 || !strings.Contains(v[0], "missing") {
 		t.Fatalf("violations = %v, want missing-measurement failure", v)
+	}
+}
+
+// The indexed kernel must complete strictly fewer full evaluations
+// than pruned on every ensemble of the current run — an absolute rule,
+// so it trips even when the baseline records the same (bad) numbers.
+func TestGateCatchesIndexedEvalParity(t *testing.T) {
+	cur := baselineFixture()
+	cur.Ensembles[0].Methods[2].PairsEvaluated = 100 // == pruned's
+	cur.Ensembles[0].Methods[2].PairsPruned = 800
+	v, _ := gate(cur, cur, 0.02)
+	if len(v) != 1 || !strings.Contains(v[0], "strictly fewer") {
+		t.Fatalf("violations = %v, want indexed-vs-pruned failure", v)
 	}
 }
 
@@ -67,12 +81,16 @@ func TestGateToleratesSlackAndReportsImprovements(t *testing.T) {
 	if v, _ := gate(baselineFixture(), cur, 0.02); len(v) != 0 {
 		t.Fatalf("within-tolerance run tripped the gate: %v", v)
 	}
-	// Fewer evaluated pairs is an improvement, not a violation.
+	// Fewer evaluated pairs is an improvement, not a violation —
+	// indexed improves along with pruned to keep its strict lead.
 	cur.Ensembles[0].Methods[1].PairsEvaluated = 50
 	cur.Ensembles[0].Methods[1].PairsPruned = 850
 	cur.Ensembles[0].Methods[1].PrunedFraction = 0.95
+	cur.Ensembles[0].Methods[2].PairsEvaluated = 40
+	cur.Ensembles[0].Methods[2].PairsPruned = 860
+	cur.Ensembles[0].Methods[2].PrunedFraction = 0.96
 	v, imp := gate(baselineFixture(), cur, 0.02)
-	if len(v) != 0 || len(imp) != 1 {
+	if len(v) != 0 || len(imp) != 2 {
 		t.Fatalf("improvement run: violations=%v improvements=%v", v, imp)
 	}
 }

@@ -29,7 +29,7 @@ func main() {
 		in       = flag.String("in", ".", "directory of .mdt trajectory files")
 		engine   = flag.String("engine", "dask", "engine: serial | mpi | spark | dask | pilot | fleet")
 		parallel = flag.Int("parallel", 0, "worker/rank count (0: automatic)")
-		method   = flag.String("method", "naive", "hausdorff method: naive | early-break | pruned")
+		method   = flag.String("method", "naive", "hausdorff method: naive | early-break | pruned | indexed")
 		tasks    = flag.Int("tasks", 0, "task count (0: one per worker)")
 		clusters = flag.Int("clusters", 0, "also cluster trajectories into k groups (0: off)")
 		sym      = flag.Bool("sym", true, "exploit H(A,B)=H(B,A): schedule only diagonal+upper blocks (-sym=false: paper-faithful full matrix)")
@@ -100,6 +100,10 @@ func run(in, engineName string, parallel int, methodName string, tasks, clusters
 		engineName, methodName, schedule, metrics.Tasks, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("kernel frame pairs: evaluated=%d pruned=%d abandoned=%d\n",
 		metrics.PairsEvaluated, metrics.PairsPruned, metrics.PairsAbandoned)
+	if metrics.NodesVisited+metrics.NodesPruned > 0 {
+		fmt.Printf("ball-tree nodes: visited=%d pruned=%d\n",
+			metrics.NodesVisited, metrics.NodesPruned)
+	}
 	if maxFrames > 0 {
 		fmt.Printf("streaming: window=%d frames, peak resident=%d frames, bytes streamed=%d\n",
 			maxFrames, metrics.PeakResidentFrames, metrics.BytesStreamed)

@@ -45,6 +45,17 @@ func TestRunPrunedMethod(t *testing.T) {
 	}
 }
 
+func TestRunIndexedMethod(t *testing.T) {
+	dir := writeEnsemble(t)
+	if err := run(dir, "dask", 2, "indexed", 0, 0, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Streamed indexed: window-local ball trees over 2-frame windows.
+	if err := run(dir, "serial", 1, "indexed", 0, 0, true, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunStreamed(t *testing.T) {
 	// -max-frames streams the on-disk ensemble out of core; every engine
 	// accepts it (dask exercised here, serial as the reference path).
@@ -82,7 +93,7 @@ func TestValidateFlags(t *testing.T) {
 	}
 	if err := validateFlags("dask", "exact"); err == nil {
 		t.Error("bad method passed validation")
-	} else if want := "naive|early-break|pruned"; !strings.Contains(err.Error(), want) {
+	} else if want := "naive|early-break|pruned|indexed"; !strings.Contains(err.Error(), want) {
 		t.Errorf("method error %q does not list valid values %q", err, want)
 	}
 }

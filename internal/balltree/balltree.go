@@ -1,9 +1,20 @@
-// Package balltree implements a BallTree spatial index for 3-D points,
-// replacing the Scikit-Learn BallTree used by the paper's Leaflet Finder
-// Approach 4 ("Tree-Search", §4.3.4). Construction is O(n log n) and
-// radius queries are O(log n) for point distributions like membranes,
-// which is what flips the crossover against brute-force pairwise
-// distance computation for large systems.
+// Package balltree implements ball-tree metric indexes for the two
+// branch-and-bound consumers in this repository:
+//
+//   - Tree, over 3-D atom positions, replaces the Scikit-Learn BallTree
+//     used by the paper's Leaflet Finder Approach 4 ("Tree-Search",
+//     §4.3.4): radius and k-NN queries over membrane coordinates.
+//   - FrameTree, over 4-D frame signatures (centroid + radius of
+//     gyration), is the metric index behind PSA's indexed Hausdorff
+//     kernel (hausdorff.Indexed): each trajectory window's frames are
+//     indexed once (cached on traj.Packed), and every row's min-dRMS
+//     search becomes a best-first tree descent instead of an O(frames)
+//     scan. See docs/kernels.md for the kernel-method contract it
+//     serves.
+//
+// Construction is O(n log n); queries are O(log n) for the clustered
+// point distributions both workloads exhibit, which is what flips the
+// crossover against brute-force pairwise computation for large systems.
 package balltree
 
 import (

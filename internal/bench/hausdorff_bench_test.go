@@ -14,10 +14,12 @@ import (
 	"mdtask/internal/traj"
 )
 
-// The BenchmarkHausdorff* family compares the three exact Hausdorff
-// kernels — naive, early-break (Taha & Hanbury) and pruned (centroid/
+// The BenchmarkHausdorff* family compares the four exact Hausdorff
+// kernels — naive, early-break (Taha & Hanbury), pruned (centroid/
 // radius-of-gyration lower bounds + bounded-dRMS early-abandon +
-// temporal-coherence ordering) — on two synthetic regimes:
+// temporal-coherence ordering) and indexed (the same bounds aggregated
+// into a ball tree over frame signatures, searched best-first) — on two
+// synthetic regimes:
 //
 //   - walk: every trajectory equilibrates in place around its own random
 //     configuration (the existing benchPSAEnsemble). Centroids barely
@@ -72,6 +74,10 @@ func benchHausdorff(b *testing.B, ens traj.Ensemble, m hausdorff.Method) {
 	if total > 0 {
 		b.ReportMetric(float64(total-s.PairsEvaluated)/float64(total), "pruned-fraction")
 	}
+	if s.NodesVisited+s.NodesPruned > 0 {
+		b.ReportMetric(float64(s.NodesVisited), "nodes-visited")
+		b.ReportMetric(float64(s.NodesPruned), "nodes-pruned")
+	}
 }
 
 func benchHausdorffEnsembles(b *testing.B, m hausdorff.Method) {
@@ -83,6 +89,7 @@ func benchHausdorffEnsembles(b *testing.B, m hausdorff.Method) {
 func BenchmarkHausdorffNaive(b *testing.B)      { benchHausdorffEnsembles(b, hausdorff.Naive) }
 func BenchmarkHausdorffEarlyBreak(b *testing.B) { benchHausdorffEnsembles(b, hausdorff.EarlyBreak) }
 func BenchmarkHausdorffPruned(b *testing.B)     { benchHausdorffEnsembles(b, hausdorff.Pruned) }
+func BenchmarkHausdorffIndexed(b *testing.B)    { benchHausdorffEnsembles(b, hausdorff.Indexed) }
 
 // TestPrunedKernelEvalReduction pins the headline number of the pruned
 // kernel pipeline: on both synthetic ensemble regimes it must perform
@@ -129,6 +136,53 @@ func TestPrunedKernelEvalReduction(t *testing.T) {
 	}
 }
 
+// TestIndexedKernelEvalReduction pins the headline number of the
+// indexed kernel: on both ensemble regimes it must complete strictly
+// fewer full dRMS evaluations than the flat pruned kernel — the whole
+// point of aggregating the bound into tree nodes — while producing the
+// bit-identical matrix with the same pair total. The counters are
+// deterministic, so this is an exact assertion.
+func TestIndexedKernelEvalReduction(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ens  traj.Ensemble
+	}{
+		{"walk", benchPSAEnsemble()},
+		{"path", benchPathEnsemble()},
+	} {
+		want, err := psa.Serial(tc.ens, psa.Opts{Method: hausdorff.Naive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := psa.Serial(tc.ens, psa.Opts{Symmetric: true, Method: hausdorff.Indexed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("%s: element %d: indexed %v != naive %v", tc.name, i, got.Data[i], want.Data[i])
+			}
+		}
+		pr := kernelCounters(tc.ens, hausdorff.Pruned)
+		ix := kernelCounters(tc.ens, hausdorff.Indexed)
+		if ix.PairsEvaluated == 0 {
+			t.Fatalf("%s: indexed kernel recorded no evaluations", tc.name)
+		}
+		if ix.PairsEvaluated >= pr.PairsEvaluated {
+			t.Errorf("%s: indexed completed %d full dRMS evaluations, pruned %d — want strictly fewer",
+				tc.name, ix.PairsEvaluated, pr.PairsEvaluated)
+		}
+		if ix.NodesVisited == 0 {
+			t.Errorf("%s: indexed kernel visited no tree nodes", tc.name)
+		}
+		prTotal := pr.PairsEvaluated + pr.PairsPruned + pr.PairsAbandoned
+		ixTotal := ix.PairsEvaluated + ix.PairsPruned + ix.PairsAbandoned
+		if prTotal != ixTotal {
+			t.Errorf("%s: kernel pair totals disagree: pruned %d, indexed %d", tc.name, prTotal, ixTotal)
+		}
+	}
+}
+
 // benchJSONEntry is one method's record in BENCH_psa.json.
 type benchJSONEntry struct {
 	Method         string  `json:"method"`
@@ -137,6 +191,8 @@ type benchJSONEntry struct {
 	PairsPruned    int64   `json:"pairs_pruned"`
 	PairsAbandoned int64   `json:"pairs_abandoned"`
 	PrunedFraction float64 `json:"pruned_fraction"`
+	NodesVisited   int64   `json:"nodes_visited,omitempty"`
+	NodesPruned    int64   `json:"nodes_pruned,omitempty"`
 }
 
 type benchJSONEnsemble struct {
@@ -147,6 +203,10 @@ type benchJSONEnsemble struct {
 	Methods        []benchJSONEntry `json:"methods"`
 	EvalReduction  float64          `json:"full_eval_reduction_vs_early_break"`
 	SpeedupVsNaive float64          `json:"pruned_speedup_vs_naive"`
+	// IndexedEvalReduction is the headline number of the indexed
+	// kernel: full dRMS evaluations of pruned over indexed (> 1 means
+	// the tree descent settles more pairs without touching atoms).
+	IndexedEvalReduction float64 `json:"indexed_eval_reduction_vs_pruned"`
 }
 
 // benchBlockCacheJSON records the block store's effectiveness in
@@ -252,6 +312,8 @@ func TestWriteBenchPSAJSON(t *testing.T) {
 				PairsEvaluated: s.PairsEvaluated,
 				PairsPruned:    s.PairsPruned,
 				PairsAbandoned: s.PairsAbandoned,
+				NodesVisited:   s.NodesVisited,
+				NodesPruned:    s.NodesPruned,
 			}
 			if total > 0 {
 				entry.PrunedFraction = float64(total-s.PairsEvaluated) / float64(total)
@@ -265,6 +327,9 @@ func TestWriteBenchPSAJSON(t *testing.T) {
 		}
 		if nsPerOp["pruned"] > 0 {
 			e.SpeedupVsNaive = float64(nsPerOp["naive"]) / float64(nsPerOp["pruned"])
+		}
+		if evaluated["indexed"] > 0 {
+			e.IndexedEvalReduction = float64(evaluated["pruned"]) / float64(evaluated["indexed"])
 		}
 		report.Ensembles = append(report.Ensembles, e)
 	}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mdtask/internal/blockstore"
+	"mdtask/internal/hausdorff"
 	"mdtask/internal/jobs"
 	"mdtask/internal/psa"
 )
@@ -37,7 +38,8 @@ func TestPSAWarmCacheConformance(t *testing.T) {
 	want := ref.Matrix
 
 	for _, engine := range jobs.Engines {
-		for _, method := range []string{"naive", "early-break", "pruned"} {
+		for _, m := range hausdorff.Methods {
+			method := m.String()
 			for _, fullMatrix := range []bool{false, true} {
 				for _, maxFrames := range []int{0, confWindow} {
 					engine, method, fullMatrix, maxFrames := engine, method, fullMatrix, maxFrames
@@ -89,6 +91,10 @@ func TestPSAWarmCacheConformance(t *testing.T) {
 						// Every block was served from the store: no kernel ran.
 						if total := warmM.PairsEvaluated + warmM.PairsPruned + warmM.PairsAbandoned; total != 0 {
 							t.Fatalf("warm run evaluated %d directed pairs, want 0", total)
+						}
+						if warmM.NodesVisited != 0 || warmM.NodesPruned != 0 {
+							t.Fatalf("warm run descended ball trees: visited=%d pruned=%d",
+								warmM.NodesVisited, warmM.NodesPruned)
 						}
 						if warmM.BlockCacheBytesSaved <= 0 {
 							t.Fatal("warm run saved no bytes")

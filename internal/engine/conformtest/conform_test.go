@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"mdtask/internal/hausdorff"
 	"mdtask/internal/jobs"
 	"mdtask/internal/synth"
 	"mdtask/internal/traj"
@@ -67,7 +68,8 @@ func TestPSAEngineConformance(t *testing.T) {
 	}
 
 	for _, engine := range jobs.Engines {
-		for _, method := range []string{"naive", "early-break", "pruned"} {
+		for _, m := range hausdorff.Methods {
+			method := m.String()
 			for _, fullMatrix := range []bool{false, true} {
 				for _, maxFrames := range []int{0, confWindow} {
 					engine, method, fullMatrix, maxFrames := engine, method, fullMatrix, maxFrames
@@ -106,6 +108,17 @@ func TestPSAEngineConformance(t *testing.T) {
 						}
 						if metrics.PairsEvaluated <= 0 {
 							t.Fatal("no evaluations recorded")
+						}
+						// Node counters are additive to the pair invariant:
+						// the indexed kernel must report descent work, the
+						// flat methods must report none.
+						if method == "indexed" {
+							if metrics.NodesVisited <= 0 {
+								t.Fatal("indexed run visited no ball-tree nodes")
+							}
+						} else if metrics.NodesVisited != 0 || metrics.NodesPruned != 0 {
+							t.Fatalf("flat method %q recorded node counters: visited=%d pruned=%d",
+								method, metrics.NodesVisited, metrics.NodesPruned)
 						}
 
 						if maxFrames > 0 {

@@ -36,6 +36,13 @@ type Metrics struct {
 	PairsPruned    int64
 	PairsAbandoned int64
 
+	// Ball-tree descent accounting of the indexed kernel (see
+	// hausdorff.Counters): nodes expanded and nodes dismissed whole by
+	// their aggregate lower bound. Additive to — never part of — the
+	// pair-sum invariant above; both stay zero for the flat methods.
+	NodesVisited int64
+	NodesPruned  int64
+
 	// Streaming accounting of the out-of-core trajectory path:
 	// PeakResidentFrames is the largest number of frames any single
 	// task held materialized at once (≤ 2 × the configured window in
@@ -94,6 +101,13 @@ func (m *Metrics) AddPairs(evaluated, pruned, abandoned int64) {
 	atomic.AddInt64(&m.PairsAbandoned, abandoned)
 }
 
+// AddNodes accounts the indexed kernel's ball-tree descent work:
+// nodes expanded and nodes dismissed whole by their aggregate bound.
+func (m *Metrics) AddNodes(visited, pruned int64) {
+	atomic.AddInt64(&m.NodesVisited, visited)
+	atomic.AddInt64(&m.NodesPruned, pruned)
+}
+
 // ObservePeakResident widens the peak simultaneously-resident frame
 // count to at least frames.
 func (m *Metrics) ObservePeakResident(frames int64) {
@@ -134,6 +148,8 @@ func (m *Metrics) Snapshot() Metrics {
 		PairsEvaluated: atomic.LoadInt64(&m.PairsEvaluated),
 		PairsPruned:    atomic.LoadInt64(&m.PairsPruned),
 		PairsAbandoned: atomic.LoadInt64(&m.PairsAbandoned),
+		NodesVisited:   atomic.LoadInt64(&m.NodesVisited),
+		NodesPruned:    atomic.LoadInt64(&m.NodesPruned),
 
 		PeakResidentFrames: atomic.LoadInt64(&m.PeakResidentFrames),
 		BytesStreamed:      atomic.LoadInt64(&m.BytesStreamed),
@@ -168,6 +184,7 @@ func (m *Metrics) MergeFrom(other *Metrics) {
 	atomic.AddInt64(&m.BytesStaged, s.BytesStaged)
 	atomic.AddInt64(&m.Failures, s.Failures)
 	m.AddPairs(s.PairsEvaluated, s.PairsPruned, s.PairsAbandoned)
+	m.AddNodes(s.NodesVisited, s.NodesPruned)
 	m.ObservePeakResident(s.PeakResidentFrames)
 	m.AddStreamed(s.BytesStreamed)
 	m.AddBlockCache(s.BlockCacheHits, s.BlockCacheMisses, s.BlockCacheBytesSaved)

@@ -682,6 +682,7 @@ func (c *Coordinator) complete(workerID string, res UnitResult) error {
 	}
 	j.metrics.RecordTask(time.Duration(res.ElapsedNS))
 	j.metrics.AddPairs(res.Counters.Evaluated, res.Counters.Pruned, res.Counters.Abandoned)
+	j.metrics.AddNodes(res.Counters.NodesVisited, res.Counters.NodesPruned)
 	j.metrics.ObservePeakResident(res.PeakResidentFrames)
 	j.metrics.AddStreamed(res.BytesStreamed)
 	recSpan.End()

@@ -51,7 +51,8 @@ type PSAUnit struct {
 	// Symmetric marks the symmetry-aware schedule (diagonal blocks
 	// compute only their strict upper triangle).
 	Symmetric bool `json:"symmetric,omitempty"`
-	// Method is the Hausdorff kernel: naive | early-break | pruned.
+	// Method is the Hausdorff kernel: naive | early-break | pruned |
+	// indexed.
 	Method string `json:"method,omitempty"`
 	// Window, when positive, selects the streamed kernel: the worker
 	// fetches the block's trajectories window by window (at most Window
@@ -109,6 +110,10 @@ type Counters struct {
 	Evaluated int64 `json:"evaluated"`
 	Pruned    int64 `json:"pruned"`
 	Abandoned int64 `json:"abandoned"`
+	// NodesVisited/NodesPruned carry the indexed kernel's ball-tree
+	// descent accounting (zero for the flat methods).
+	NodesVisited int64 `json:"nodes_visited,omitempty"`
+	NodesPruned  int64 `json:"nodes_pruned,omitempty"`
 }
 
 // UnitResult is the body of POST /v1/workers/{id}/results: one

@@ -417,9 +417,11 @@ func (w *Worker) execute(l *Lease) (res UnitResult, err error) {
 		snap := m.Snapshot()
 		res.ValuesB64 = PackFloats(br.Values)
 		res.Counters = Counters{
-			Evaluated: snap.PairsEvaluated,
-			Pruned:    snap.PairsPruned,
-			Abandoned: snap.PairsAbandoned,
+			Evaluated:    snap.PairsEvaluated,
+			Pruned:       snap.PairsPruned,
+			Abandoned:    snap.PairsAbandoned,
+			NodesVisited: snap.NodesVisited,
+			NodesPruned:  snap.NodesPruned,
 		}
 		res.PeakResidentFrames = snap.PeakResidentFrames
 		res.BytesStreamed = snap.BytesStreamed

@@ -1,10 +1,17 @@
 // Package hausdorff implements the Hausdorff distance between MD
 // trajectories (the paper's Algorithm 1) with the dRMS frame metric,
-// plus the early-break optimization of Taha & Hanbury that the paper
-// cites as the known sequential speedup, a pruned kernel that combines
-// exact centroid/radius-of-gyration lower bounds with bounded-dRMS
-// early-abandon (pruned.go), and the 2D-RMSD matrix variant computed by
-// CPPTraj (Algorithm 1 with no min–max reduction).
+// in four exact kernels that all produce bit-identical matrices: the
+// naive full scan, the early-break optimization of Taha & Hanbury that
+// the paper cites as the known sequential speedup, a pruned kernel
+// combining exact centroid/radius-of-gyration lower bounds with
+// bounded-dRMS early-abandon (pruned.go), and an indexed kernel
+// answering each row's min by best-first descent over a ball tree of
+// 4-D frame signatures (indexed.go, balltree.FrameTree). The package
+// also carries the streamed out-of-core fold (streamed.go), the
+// frame-pair and tree-node Counters every engine reports, and the
+// 2D-RMSD matrix variant computed by CPPTraj (Algorithm 1 with no
+// min–max reduction). The full kernel-method contract — bounds, slack
+// discipline, counter invariants — is docs/kernels.md.
 package hausdorff
 
 import (
@@ -33,6 +40,17 @@ const (
 	// trajectories. It operates on the packed representation of
 	// traj.Packed.
 	Pruned
+	// Indexed replaces Pruned's O(frames) inner scan with a best-first
+	// ball-tree descent: each trajectory's frames are indexed once by
+	// their (centroid, rg) signatures (balltree.FrameTree, cached on
+	// traj.Packed), and the same exact centroid/rg lower bound that
+	// Pruned applies per pair is aggregated into per-node bounds, so one
+	// comparison dismisses a whole subtree. Leaves early-abandon through
+	// linalg.DRMSWithin seeded with the running best, warm-started from
+	// the previous row's argmin. Sub-quadratic in frames whenever the
+	// bound separates candidates; degrades to Pruned-like behaviour plus
+	// O(log frames) node checks otherwise.
+	Indexed
 )
 
 // String returns the method name.
@@ -44,6 +62,8 @@ func (m Method) String() string {
 		return "early-break"
 	case Pruned:
 		return "pruned"
+	case Indexed:
+		return "indexed"
 	default:
 		return "unknown"
 	}
@@ -58,13 +78,15 @@ func ParseMethod(s string) (Method, error) {
 		return EarlyBreak, nil
 	case "pruned":
 		return Pruned, nil
+	case "indexed":
+		return Indexed, nil
 	default:
-		return 0, fmt.Errorf("hausdorff: unknown method %q (want naive|early-break|pruned)", s)
+		return 0, fmt.Errorf("hausdorff: unknown method %q (want naive|early-break|pruned|indexed)", s)
 	}
 }
 
 // Methods lists every kernel method.
-var Methods = []Method{Naive, EarlyBreak, Pruned}
+var Methods = []Method{Naive, EarlyBreak, Pruned, Indexed}
 
 // Counters tallies the frame-pair work of one or more kernel
 // invocations. Every frame pair a directed scan considers lands in
@@ -84,6 +106,17 @@ type Counters struct {
 	// Abandoned counts dRMS evaluations abandoned mid-sum once the
 	// partial sum proved the pair could not lower the running minimum.
 	Abandoned int64
+
+	// NodesVisited and NodesPruned account the indexed kernel's
+	// ball-tree descents, on top of (never instead of) the frame-pair
+	// buckets above: a visited node was expanded (children pushed, or
+	// its leaf frames settled pair by pair), a pruned node was dismissed
+	// whole by its aggregate lower bound — its member pairs land in
+	// Pruned. Both stay zero for the flat methods, and
+	// Evaluated + Pruned + Abandoned still equals the scheduled directed
+	// pair total whatever the method.
+	NodesVisited int64
+	NodesPruned  int64
 }
 
 // Add folds another tally into c.
@@ -94,6 +127,8 @@ func (c *Counters) Add(o Counters) {
 	c.Evaluated += o.Evaluated
 	c.Pruned += o.Pruned
 	c.Abandoned += o.Abandoned
+	c.NodesVisited += o.NodesVisited
+	c.NodesPruned += o.NodesPruned
 }
 
 // Total returns the number of frame pairs accounted.
@@ -114,6 +149,18 @@ func (c *Counters) prune(n int64) {
 func (c *Counters) abandon() {
 	if c != nil {
 		c.Abandoned++
+	}
+}
+
+func (c *Counters) visitNode() {
+	if c != nil {
+		c.NodesVisited++
+	}
+}
+
+func (c *Counters) pruneNodes(n int64) {
+	if c != nil {
+		c.NodesPruned += n
 	}
 }
 
@@ -190,11 +237,16 @@ func Distance(a, b *traj.Trajectory, m Method) float64 {
 }
 
 // DistanceCounted is Distance with frame-pair accounting folded into c
-// (which may be nil). The Pruned method consumes the trajectories'
-// cached packed representation (traj.Trajectory.Packed).
+// (which may be nil). The Pruned and Indexed methods consume the
+// trajectories' cached packed representation (traj.Trajectory.Packed);
+// Indexed additionally consumes the cached frame-signature ball tree
+// (traj.Packed.FrameTree).
 func DistanceCounted(a, b *traj.Trajectory, m Method, c *Counters) float64 {
-	if m == Pruned {
+	switch m {
+	case Pruned:
 		return DistancePacked(a.Packed(), b.Packed(), c)
+	case Indexed:
+		return DistanceIndexed(a.Packed(), b.Packed(), c)
 	}
 	return DistanceFramesCounted(Frames(a), Frames(b), m, c)
 }
@@ -219,6 +271,8 @@ func DistanceFramesCounted(fa, fb [][]linalg.Vec3, m Method, c *Counters) float6
 		return math.Max(h1, h2)
 	case Pruned:
 		return DistancePacked(packViews(fa), packViews(fb), c)
+	case Indexed:
+		return DistanceIndexed(packViews(fa), packViews(fb), c)
 	default:
 		h1 := directedNaive(fa, fb, c)
 		h2 := directedNaive(fb, fa, c)

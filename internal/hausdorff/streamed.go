@@ -4,6 +4,7 @@ import (
 	"io"
 	"math"
 
+	"mdtask/internal/balltree"
 	"mdtask/internal/linalg"
 	"mdtask/internal/traj"
 )
@@ -40,11 +41,21 @@ import (
 //   - Pruned additionally dismisses pairs in O(1) with the exact
 //     centroid/radius-of-gyration lower bound of DirectedPruned,
 //     computed from the windows' packed side data.
+//   - Indexed runs two directional best-first descents per tile over
+//     the windows' frame-signature ball trees (window-local — built
+//     from each window's own Packed, so the ≤2-window residency bound
+//     is untouched): rows of the outer window against the inner
+//     window's tree pruned by rowMin, then rows of the inner window
+//     against the outer window's tree pruned by colMin. Each pass
+//     settles every tile pair once, and completed evaluations update
+//     both minima opportunistically.
 //
 // Counter accounting stays on the directed-pair scale of the in-memory
 // kernels: one streamed evaluation settles a pair for both directions
-// at once, so it accounts 2 directed pairs, keeping the invariant
-// Evaluated + Pruned + Abandoned = 2·na·nb per trajectory pair.
+// at once, so it accounts 2 directed pairs — and the indexed kernel's
+// two one-directional passes account each pair once apiece — keeping
+// the invariant Evaluated + Pruned + Abandoned = 2·na·nb per
+// trajectory pair for every method.
 
 // StreamStats accumulates the residency and volume accounting of
 // streamed evaluations: the peak number of simultaneously materialized
@@ -134,6 +145,11 @@ func DistanceStreamed(a, b *traj.Ref, window int, m Method, c *Counters, st *Str
 // foldWindowPair folds one window × window tile of exact frame
 // distances into the running minima.
 func foldWindowPair(wa, wb *traj.Window, rowMin, colMin []float64, m Method, c *Counters) {
+	if m == Indexed {
+		foldIndexedPass(wa, wb, rowMin, colMin, c)
+		foldIndexedPass(wb, wa, colMin, rowMin, c)
+		return
+	}
 	pa, pb := wa.Packed, wb.Packed
 	for i := 0; i < pa.NFrames; i++ {
 		gi := wa.Start + i
@@ -181,5 +197,87 @@ func foldWindowPair(wa, wb *traj.Window, rowMin, colMin []float64, m Method, c *
 				}
 			}
 		}
+	}
+}
+
+// foldIndexedPass folds one directional pass of a tile for the indexed
+// kernel: every frame of the query window wq runs a best-first descent
+// over the target window wt's frame-signature ball tree, pruned by the
+// query side's running minimum. Each tile pair is settled exactly once
+// per pass (weight 1), so the tile's two passes together preserve the
+// 2·na·nb directed-pair invariant; completed evaluations update both
+// sides' minima opportunistically.
+func foldIndexedPass(wq, wt *traj.Window, qMin, tMin []float64, c *Counters) {
+	pq, pt := wq.Packed, wt.Packed
+	if pq.NFrames == 0 || pt.NFrames == 0 {
+		return
+	}
+	tree := pt.FrameTree()
+	frontier := make([]nodeItem, 0, 64)
+	for i := 0; i < pq.NFrames; i++ {
+		gi := wq.Start + i
+		ra := pq.Row(i)
+		cq := pq.Centroids[i]
+		rq := pq.RadGyr[i]
+		sig := balltree.Point4{cq[0], cq[1], cq[2], rq}
+		cmin := qMin[gi]
+		settled := 0
+		frontier = frontier[:0]
+		frontier = heapPush(frontier, nodeItem{frameNodeBound(sig, &tree.Nodes[0]), 0})
+		for len(frontier) > 0 {
+			var top nodeItem
+			top, frontier = heapPop(frontier)
+			if top.lb >= cmin {
+				// No remaining candidate can lower this side's minimum;
+				// the unsettled pairs are accounted wholesale below.
+				nn := remainingNodes(frontier)
+				if top.id >= 0 {
+					nn++
+				}
+				c.pruneNodes(nn)
+				break
+			}
+			if top.id < 0 {
+				j := int(^top.id)
+				d, ok := linalg.DRMSWithin(ra, pt.Row(j), cmin)
+				settled++
+				if !ok {
+					c.abandon()
+					continue
+				}
+				c.eval()
+				if d < cmin {
+					cmin = d
+				}
+				if gj := wt.Start + j; d < tMin[gj] {
+					tMin[gj] = d
+				}
+				continue
+			}
+			c.visitNode()
+			n := &tree.Nodes[top.id]
+			if !n.Leaf() {
+				frontier = heapPush(frontier, nodeItem{frameNodeBound(sig, &tree.Nodes[n.Left]), n.Left})
+				frontier = heapPush(frontier, nodeItem{frameNodeBound(sig, &tree.Nodes[n.Right]), n.Right})
+				continue
+			}
+			for _, ix := range tree.Perm[n.Start:n.End] {
+				j := int(ix)
+				dc := cq.Sub(pt.Centroids[j])
+				dr := rq - pt.RadGyr[j]
+				lb2 := dc.Norm2() + dr*dr
+				lb2 -= lb2 * (2 * boundSlack)
+				if lb2 >= cmin*cmin {
+					c.prune(1)
+					settled++
+					continue
+				}
+				frontier = heapPush(frontier, nodeItem{math.Sqrt(lb2), ^int32(j)})
+			}
+		}
+		if settled < pt.NFrames {
+			c.prune(int64(pt.NFrames - settled))
+		}
+		qMin[gi] = cmin
 	}
 }

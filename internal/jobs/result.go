@@ -36,6 +36,10 @@ type MetricsSnapshot struct {
 	PairsEvaluated int64 `json:"pairs_evaluated"`
 	PairsPruned    int64 `json:"pairs_pruned"`
 	PairsAbandoned int64 `json:"pairs_abandoned"`
+	// Ball-tree descent accounting of the indexed kernel: nodes
+	// expanded, and nodes dismissed whole by their aggregate bound.
+	NodesVisited int64 `json:"nodes_visited"`
+	NodesPruned  int64 `json:"nodes_pruned"`
 	// Streamed-path accounting: the largest frame residency any task
 	// reached (≤ 2 × max_resident_frames in streamed runs) and the
 	// coordinate bytes decoded from trajectory sources.
@@ -68,6 +72,8 @@ func SnapshotOf(m *engine.Metrics) MetricsSnapshot {
 		PairsEvaluated: s.PairsEvaluated,
 		PairsPruned:    s.PairsPruned,
 		PairsAbandoned: s.PairsAbandoned,
+		NodesVisited:   s.NodesVisited,
+		NodesPruned:    s.NodesPruned,
 
 		PeakResidentFrames: s.PeakResidentFrames,
 		BytesStreamed:      s.BytesStreamed,

@@ -79,7 +79,8 @@ type Spec struct {
 	Tasks int `json:"tasks,omitempty"`
 
 	// Method is the PSA Hausdorff kernel: "naive" (default),
-	// "early-break" or "pruned". All three produce identical matrices.
+	// "early-break", "pruned" or "indexed". All four produce identical
+	// matrices (see docs/kernels.md for the contract).
 	Method string `json:"method,omitempty"`
 	// FullMatrix disables PSA's symmetry-aware schedule (paper-faithful
 	// full N×N grid).
@@ -279,8 +280,8 @@ func RunnerName(analysis, engine string) string { return analysis + "/" + engine
 
 // CacheKey content-addresses a normalized spec plus the digest of its
 // resolved input data. Result-invariant parameters are normalized out:
-// the PSA kernel method (naive, early-break and pruned are all exact —
-// they produce bit-identical matrices), the FullMatrix schedule
+// the PSA kernel method (naive, early-break, pruned and indexed are
+// all exact — they produce bit-identical matrices), the FullMatrix schedule
 // toggle (the symmetric schedule mirrors the identical values), and
 // MaxResidentFrames (the streamed kernel is bit-identical to the
 // in-memory one), so a resubmission differing only in those hits the

@@ -259,7 +259,10 @@ func RunPilotRefs(p *pilot.Pilot, refs traj.RefEnsemble, n1 int, opts Opts) (*Ma
 					return err
 				}
 				snap := m.Snapshot()
-				kc := hausdorff.Counters{Evaluated: snap.PairsEvaluated, Pruned: snap.PairsPruned, Abandoned: snap.PairsAbandoned}
+				kc := hausdorff.Counters{
+					Evaluated: snap.PairsEvaluated, Pruned: snap.PairsPruned, Abandoned: snap.PairsAbandoned,
+					NodesVisited: snap.NodesVisited, NodesPruned: snap.NodesPruned,
+				}
 				st := hausdorff.StreamStats{PeakResidentFrames: snap.PeakResidentFrames, BytesStreamed: snap.BytesStreamed}
 				return os.WriteFile(filepath.Join(sandbox, "counters.bin"), encodeCounters(kc, st), 0o644)
 			},
@@ -319,14 +322,16 @@ func encodeFloats(vals []float64) []byte {
 	return out
 }
 
-// encodeCounters packs a unit's kernel and streaming accounting as five
-// little-endian uint64s: evaluated, pruned, abandoned, peak resident
-// frames, bytes streamed.
+// encodeCounters packs a unit's kernel and streaming accounting as
+// seven little-endian uint64s: evaluated, pruned, abandoned, nodes
+// visited, nodes pruned, peak resident frames, bytes streamed.
 func encodeCounters(kc hausdorff.Counters, st hausdorff.StreamStats) []byte {
-	out := make([]byte, 0, 40)
+	out := make([]byte, 0, 56)
 	out = binary.LittleEndian.AppendUint64(out, uint64(kc.Evaluated))
 	out = binary.LittleEndian.AppendUint64(out, uint64(kc.Pruned))
 	out = binary.LittleEndian.AppendUint64(out, uint64(kc.Abandoned))
+	out = binary.LittleEndian.AppendUint64(out, uint64(kc.NodesVisited))
+	out = binary.LittleEndian.AppendUint64(out, uint64(kc.NodesPruned))
 	out = binary.LittleEndian.AppendUint64(out, uint64(st.PeakResidentFrames))
 	out = binary.LittleEndian.AppendUint64(out, uint64(st.BytesStreamed))
 	return out
@@ -334,17 +339,19 @@ func encodeCounters(kc hausdorff.Counters, st hausdorff.StreamStats) []byte {
 
 // decodeCounters unpacks the counters payload of a pilot unit.
 func decodeCounters(b []byte) (hausdorff.Counters, hausdorff.StreamStats, error) {
-	if len(b) != 40 {
-		return hausdorff.Counters{}, hausdorff.StreamStats{}, fmt.Errorf("psa: counters payload length %d, want 40", len(b))
+	if len(b) != 56 {
+		return hausdorff.Counters{}, hausdorff.StreamStats{}, fmt.Errorf("psa: counters payload length %d, want 56", len(b))
 	}
 	kc := hausdorff.Counters{
-		Evaluated: int64(binary.LittleEndian.Uint64(b)),
-		Pruned:    int64(binary.LittleEndian.Uint64(b[8:])),
-		Abandoned: int64(binary.LittleEndian.Uint64(b[16:])),
+		Evaluated:    int64(binary.LittleEndian.Uint64(b)),
+		Pruned:       int64(binary.LittleEndian.Uint64(b[8:])),
+		Abandoned:    int64(binary.LittleEndian.Uint64(b[16:])),
+		NodesVisited: int64(binary.LittleEndian.Uint64(b[24:])),
+		NodesPruned:  int64(binary.LittleEndian.Uint64(b[32:])),
 	}
 	st := hausdorff.StreamStats{
-		PeakResidentFrames: int64(binary.LittleEndian.Uint64(b[24:])),
-		BytesStreamed:      int64(binary.LittleEndian.Uint64(b[32:])),
+		PeakResidentFrames: int64(binary.LittleEndian.Uint64(b[40:])),
+		BytesStreamed:      int64(binary.LittleEndian.Uint64(b[48:])),
 	}
 	return kc, st, nil
 }

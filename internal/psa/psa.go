@@ -106,6 +106,7 @@ func (o Opts) recordStream(st hausdorff.StreamStats) {
 func (o Opts) recordKernel(c hausdorff.Counters) {
 	if o.Metrics != nil {
 		o.Metrics.AddPairs(c.Evaluated, c.Pruned, c.Abandoned)
+		o.Metrics.AddNodes(c.NodesVisited, c.NodesPruned)
 	}
 }
 

@@ -2,7 +2,9 @@ package traj
 
 import (
 	"math"
+	"sync/atomic"
 
+	"mdtask/internal/balltree"
 	"mdtask/internal/linalg"
 )
 
@@ -28,6 +30,31 @@ type Packed struct {
 	// temporal-coherence Lipschitz constants the pruned kernel chains
 	// through the dRMS triangle inequality.
 	StepDRMS []float64
+
+	// tree caches the ball tree over the frames' (centroid, rg)
+	// signatures, built on first use by FrameTree(). Like the packed
+	// cache on Trajectory, racing callers at worst build twice.
+	tree atomic.Pointer[balltree.FrameTree]
+}
+
+// FrameTree returns the ball tree over the packed frames' 4-D
+// signatures (centroid x, y, z, radius of gyration) — the metric index
+// the indexed Hausdorff kernel descends. It is built from the already
+// computed per-frame statistics in O(frames · log frames) on first use
+// and cached; windows carry their own Packed, so streamed tiles get
+// window-local trees with no extra residency.
+func (p *Packed) FrameTree() *balltree.FrameTree {
+	if t := p.tree.Load(); t != nil {
+		return t
+	}
+	pts := make([]balltree.Point4, p.NFrames)
+	for i := range pts {
+		c := p.Centroids[i]
+		pts[i] = balltree.Point4{c[0], c[1], c[2], p.RadGyr[i]}
+	}
+	t := balltree.NewFrameTree(pts, 0)
+	p.tree.Store(t)
+	return t
 }
 
 // Row returns frame i's packed coordinate row (shared, not copied).

@@ -1,0 +1,48 @@
+#!/bin/sh
+# docslint: every internal/* and cmd/* package must open with a
+# substantive package doc comment — "// Package <name> ..." (or
+# "// Command <name> ..." for main packages) spanning at least two
+# comment lines, so the comment has room to state the package's role
+# AND its place in the pipeline, not just restate its name. The
+# kernel-method and engine contracts (docs/kernels.md, README package
+# map) lean on these comments being trustworthy.
+#
+# Run via `make docslint`; CI gates on it.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for dir in internal/*/ internal/*/*/ cmd/*/; do
+  [ -d "$dir" ] || continue
+  # Only directories that actually hold a Go package.
+  set -- "$dir"*.go
+  [ -e "$1" ] || continue
+  name=$(basename "$dir")
+
+  # The file carrying the package doc comment.
+  doc_file=$(grep -l "^// Package $name\|^// Command $name" "$dir"*.go 2>/dev/null | head -1 || true)
+  if [ -z "$doc_file" ]; then
+    echo "docslint: $dir: no package doc comment (want \"// Package $name ...\" or \"// Command $name ...\")" >&2
+    status=1
+    continue
+  fi
+
+  # Substance: the comment block opening with the doc sentence must be
+  # at least two lines long (one-line restatements of the name do not
+  # document a role or a pipeline place).
+  lines=$(awk -v name="$name" '
+    $0 ~ "^// (Package|Command) "name { in_doc = 1 }
+    in_doc && /^\/\// { n++; next }
+    in_doc { exit }
+    END { print n + 0 }
+  ' "$doc_file")
+  if [ "$lines" -lt 2 ]; then
+    echo "docslint: $dir: package doc comment is a single line — state the package's role and pipeline place" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docslint: OK — every internal/cmd package carries a substantive doc comment"
+fi
+exit $status
