@@ -4,7 +4,7 @@ SMOKE_PORT ?= 18077
 BENCH_CURRENT ?= /tmp/mdtask-bench-current.json
 FUZZTIME ?= 10s
 
-.PHONY: build test bench bench-json bench-gate docslint fmt vet serve smoke-serve smoke-fleet smoke-stream smoke-cache smoke-obs smoke-crash fuzz race
+.PHONY: build test bench bench-json bench-gate docslint fmt vet serve smoke-serve smoke-fleet smoke-stream smoke-cache smoke-obs smoke-crash fuzz race loadgate
 
 build:
 	$(GO) build ./...
@@ -116,6 +116,18 @@ bench-json:
 bench-gate:
 	MDTASK_BENCH_JSON=$(BENCH_CURRENT) $(GO) test -count=1 ./internal/bench/ -run TestWriteBenchPSAJSON
 	$(GO) run ./cmd/benchgate -baseline $(CURDIR)/BENCH_psa.json -current $(BENCH_CURRENT)
+
+# CI gate for the production load harness: mdserver (small queue,
+# journal) + 2 healthy mdworkers run the full non-chaos scenario suite
+# under cmd/mdload with every deterministic invariant gating (zero
+# lost jobs, exact shed/submit accounting, Retry-After on 429s, 413 on
+# oversized bodies, wal_records_skipped == 0, no goroutine leaks);
+# then a third, MDTASK_FAULTS-armed worker takes the chaos scenario,
+# which must find evidence of the injected faults. Latency lands in
+# BENCH_load.json / load_latency.csv but never gates (see
+# scripts/loadgate.sh).
+loadgate:
+	sh scripts/loadgate.sh
 
 # Documentation lint: every internal/cmd package must carry a
 # substantive package doc comment stating its role and pipeline place

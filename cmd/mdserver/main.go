@@ -74,6 +74,7 @@ func main() {
 		queue      = flag.Int("queue", 64, "queued-job limit")
 		cacheBytes = flag.Int64("cache-bytes", blockstore.DefaultMaxBytes, "result-store byte budget (block + whole-job entries, LRU-evicted)")
 		retain     = flag.Int("retain", 4096, "finished-job records retained (oldest evicted beyond this)")
+		maxSpec    = flag.Int64("max-spec-bytes", jobs.DefaultMaxSpecBytes, "POST /v1/jobs request-body bound; larger submissions answer 413")
 		dataDir    = flag.String("data-dir", "", "durable job-journal directory; jobs survive crashes and restarts (empty: memory-only)")
 		fsync      = flag.String("fsync", "always", "journal fsync policy: always|interval|never")
 
@@ -95,6 +96,7 @@ func main() {
 	cfg := serverConfig{
 		addr: *addr, workers: *workers, queue: *queue, retain: *retain,
 		cacheBytes:   *cacheBytes,
+		maxSpecBytes: *maxSpec,
 		dataDir:      *dataDir,
 		fsync:        *fsync,
 		fleetWorkers: *fleetWorkers,
@@ -116,6 +118,7 @@ type serverConfig struct {
 	addr                   string
 	workers, queue, retain int
 	cacheBytes             int64
+	maxSpecBytes           int64
 	dataDir                string
 	fsync                  string
 	fleetWorkers           int
@@ -147,7 +150,7 @@ func selfURL(addr net.Addr) (string, error) {
 // Prometheus exposition into one mux (shared with the in-process
 // server test), wrapped in the standard instrumentation middleware
 // (per-endpoint metrics, access log, inbound-traceparent spans).
-func buildHandler(sched *jobs.Scheduler, coord *fleet.Coordinator, logger *slog.Logger) http.Handler {
+func buildHandler(sched *jobs.Scheduler, coord *fleet.Coordinator, logger *slog.Logger, jo jobs.ServerOptions) http.Handler {
 	fh := coord.Handler()
 	mux := http.NewServeMux()
 	mux.Handle("/v1/workers", fh)
@@ -155,7 +158,7 @@ func buildHandler(sched *jobs.Scheduler, coord *fleet.Coordinator, logger *slog.
 	mux.Handle("/v1/fleet", fh)
 	mux.Handle("/v1/fleet/", fh)
 	mux.Handle("/metrics", sched.Obs().Metrics.Handler())
-	mux.Handle("/", jobs.NewServer(sched))
+	mux.Handle("/", jobs.NewServerWith(sched, jo))
 	return obs.Middleware(mux, sched.Obs(), logger, "mdserver")
 }
 
@@ -248,7 +251,7 @@ func run(ctx context.Context, cfg serverConfig) error {
 		log.Printf("mdserver pprof on %s/debug/pprof/", dln.Addr())
 	}
 	srv := &http.Server{
-		Handler:           buildHandler(sched, coord, logger),
+		Handler:           buildHandler(sched, coord, logger, jobs.ServerOptions{MaxSpecBytes: cfg.maxSpecBytes}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

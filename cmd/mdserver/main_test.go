@@ -88,7 +88,7 @@ func TestServerFleetRoundTrip(t *testing.T) {
 	defer coord.Close()
 	sched := jobs.NewScheduler(jobs.RegistryWithFleet(coord), jobs.Options{Workers: 2})
 	defer sched.Close()
-	ts := httptest.NewServer(buildHandler(sched, coord, nil))
+	ts := httptest.NewServer(buildHandler(sched, coord, nil, jobs.ServerOptions{}))
 	defer ts.Close()
 
 	for i := 0; i < 2; i++ {

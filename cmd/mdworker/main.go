@@ -86,6 +86,19 @@ func defaultName() string {
 	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
+// sideServer wraps a side-listener handler (metrics, pprof) in a
+// configured http.Server. The ReadHeaderTimeout matters even on these
+// auxiliary ports: a bare http.Serve lets any client hold a connection
+// open indefinitely without sending a request line, pinning a goroutine
+// per idle connection — the same slowloris hole mdserver and
+// fleet.Local already close on their main listeners.
+func sideServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+}
+
 func run(opts fleet.WorkerOptions, metricsAddr, debugAddr, logFormat string) error {
 	ob := obs.New("mdworker")
 	obs.RegisterRuntimeMetrics(ob.Metrics)
@@ -99,7 +112,8 @@ func run(opts fleet.WorkerOptions, metricsAddr, debugAddr, logFormat string) err
 		defer mln.Close()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", ob.Metrics.Handler())
-		go func() { _ = http.Serve(mln, obs.Middleware(mux, ob, logger, "mdworker")) }()
+		srv := sideServer(obs.Middleware(mux, ob, logger, "mdworker"))
+		go func() { _ = srv.Serve(mln) }()
 		log.Printf("mdworker metrics on %s/metrics", mln.Addr())
 	}
 	if debugAddr != "" {
@@ -108,7 +122,8 @@ func run(opts fleet.WorkerOptions, metricsAddr, debugAddr, logFormat string) err
 			return err
 		}
 		defer dln.Close()
-		go func() { _ = http.Serve(dln, http.DefaultServeMux) }()
+		dsrv := sideServer(http.DefaultServeMux)
+		go func() { _ = dsrv.Serve(dln) }()
 		log.Printf("mdworker pprof on %s/debug/pprof/", dln.Addr())
 	}
 	opts.Obs = ob

@@ -17,8 +17,9 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
 		var req RegisterRequest
 		if r.ContentLength != 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, c.opts.MaxControlBytes)
 			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("decoding register request: %w", err))
+				writeError(w, decodeStatus(err), fmt.Errorf("decoding register request: %w", err))
 				return
 			}
 		}
@@ -44,9 +45,14 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, l)
 	})
 	mux.HandleFunc("POST /v1/workers/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		// Result bodies are bounded too — generously, since they carry
+		// base64 block values — so one misbehaving worker cannot balloon
+		// coordinator memory. The intentionally large input transfers run
+		// over GET …/input and are governed by the worker's own limit.
+		r.Body = http.MaxBytesReader(w, r.Body, c.opts.MaxResultBytes)
 		var res UnitResult
 		if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding unit result: %w", err))
+			writeError(w, decodeStatus(err), fmt.Errorf("decoding unit result: %w", err))
 			return
 		}
 		switch err := c.complete(r.PathValue("id"), res); {
@@ -99,6 +105,16 @@ func (c *Coordinator) Handler() http.Handler {
 		_, _ = w.Write(payload)
 	})
 	return mux
+}
+
+// decodeStatus maps a request-body decode error to its status: 413
+// when the MaxBytesReader bound tripped, 400 for malformed JSON.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // writeJSON encodes v with status code.

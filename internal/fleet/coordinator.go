@@ -35,6 +35,7 @@ type Coordinator struct {
 
 	unitsCompleted int64
 	requeues       int64
+	unitFailures   int64
 	workersSeen    int64
 	workersLost    int64
 
@@ -639,6 +640,23 @@ func (c *Coordinator) complete(workerID string, res UnitResult) error {
 	if !ok || l.worker != workerID || l.job.id != res.Job || l.unit != res.Unit {
 		return ErrStaleLease
 	}
+	if res.Failed {
+		// A failure nack hands the lease back immediately. This must not
+		// wait for lease expiry: expiry only fires on silent workers —
+		// every heartbeat from this (live) worker renews the lease — so
+		// without the nack the unit would stay pinned to a worker that
+		// already gave up on it.
+		if w, ok := c.workers[workerID]; ok {
+			c.touchLocked(w, time.Now())
+		}
+		if res.Error != "" {
+			l.span.SetAttr("error", res.Error)
+		}
+		c.opts.Tracer.Import(res.Spans)
+		c.unitFailures++
+		c.requeueLocked(l)
+		return nil
+	}
 	delete(c.leases, l.id)
 	if w, ok := c.workers[workerID]; ok {
 		delete(w.leases, l.id)
@@ -821,6 +839,7 @@ func (c *Coordinator) Stats() StatsView {
 		JobsActive:     active,
 		UnitsCompleted: c.unitsCompleted,
 		Requeues:       c.requeues,
+		UnitFailures:   c.unitFailures,
 		WorkersSeen:    c.workersSeen,
 		WorkersLost:    c.workersLost,
 		WorkerList:     list,

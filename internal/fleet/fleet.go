@@ -92,6 +92,17 @@ type Options struct {
 	// PollEvery is the idle-poll interval advertised to workers when no
 	// work is available (default 200ms).
 	PollEvery time.Duration
+	// MaxControlBytes bounds small worker-facing request bodies —
+	// registration and heartbeats — which legitimately carry at most a
+	// short JSON document (default 1 MiB). Oversized bodies answer 413.
+	MaxControlBytes int64
+	// MaxResultBytes bounds POST …/results bodies. Unit results carry
+	// base64 block values plus shipped spans, so the bound is generous
+	// (default 64 MiB) — but not absent: without it one misbehaving
+	// worker could balloon coordinator memory with a single request.
+	// The input-transfer path (GET …/input) is not governed here; the
+	// worker side bounds those downloads with its own transfer limit.
+	MaxResultBytes int64
 	// BlockStore, when set, is the content-addressed result store the
 	// coordinator consults before leasing any work unit: units whose
 	// block is already cached are recorded at admission and never fan
@@ -125,6 +136,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PollEvery <= 0 {
 		o.PollEvery = 200 * time.Millisecond
+	}
+	if o.MaxControlBytes <= 0 {
+		o.MaxControlBytes = 1 << 20
+	}
+	if o.MaxResultBytes <= 0 {
+		o.MaxResultBytes = 64 << 20
 	}
 	return o
 }

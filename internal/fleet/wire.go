@@ -123,6 +123,17 @@ type UnitResult struct {
 	Job   string `json:"job"`
 	Unit  int    `json:"unit"`
 
+	// Failed marks a failure nack: the worker could not execute the
+	// unit (kernel error, input fetch failure, injected fault) and is
+	// handing the lease back so the coordinator requeues the unit NOW.
+	// Without the nack a failed unit on a live worker would hang the
+	// job: heartbeats renew every held lease, so the expiry that was
+	// supposed to reclaim the unit never fires. Error carries the
+	// worker-side reason for logs and traces; the payload fields below
+	// are all empty on a nack.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
+
 	// ValuesB64 carries a PSA block's distances: base64 of packed
 	// little-endian float64s, in ComputeBlock's iteration order.
 	ValuesB64 string `json:"values_b64,omitempty"`
@@ -152,11 +163,14 @@ type StatsView struct {
 	ActiveLeases   int   `json:"active_leases"`
 	JobsActive     int   `json:"jobs_active"`
 	UnitsCompleted int64 `json:"units_completed"`
-	// Requeues counts units revoked and rescheduled (lease expiry or
-	// worker death); > 0 after a mid-job worker kill.
-	Requeues    int64 `json:"requeues"`
-	WorkersSeen int64 `json:"workers_seen"`
-	WorkersLost int64 `json:"workers_lost"`
+	// Requeues counts units revoked and rescheduled (lease expiry,
+	// worker death, or a failure nack); > 0 after a mid-job worker kill.
+	Requeues int64 `json:"requeues"`
+	// UnitFailures counts failure nacks: units a live worker executed
+	// and handed back with an error (each also counts as a requeue).
+	UnitFailures int64 `json:"unit_failures"`
+	WorkersSeen  int64 `json:"workers_seen"`
+	WorkersLost  int64 `json:"workers_lost"`
 	// WorkerList details the currently registered workers.
 	WorkerList []WorkerView `json:"worker_list,omitempty"`
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mdtask/internal/engine"
+	"mdtask/internal/faultinject"
 	"mdtask/internal/hausdorff"
 	"mdtask/internal/leaflet"
 	"mdtask/internal/linalg"
@@ -44,6 +45,13 @@ type WorkerOptions struct {
 	ControlTimeout time.Duration
 	// TransferTimeout bounds bulk input/window downloads (default 2m).
 	TransferTimeout time.Duration
+	// MaxTransferBytes bounds the size of one input or window download
+	// (default 1 GiB). The transfer-size contract: a whole-job input is
+	// the largest legitimate payload, a streamed window is far smaller,
+	// and either way a coordinator (or an interloper on its address)
+	// must not be able to balloon worker memory with one unbounded
+	// response body.
+	MaxTransferBytes int64
 	// Logf, when non-nil, receives worker lifecycle log lines.
 	Logf func(format string, args ...interface{})
 	// Obs, when non-nil, instruments the worker: kernel spans parented
@@ -103,6 +111,9 @@ func StartWorker(o WorkerOptions) (*Worker, error) {
 	}
 	if o.TransferTimeout <= 0 {
 		o.TransferTimeout = 2 * time.Minute
+	}
+	if o.MaxTransferBytes <= 0 {
+		o.MaxTransferBytes = 1 << 30
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...interface{}) {}
@@ -311,10 +322,18 @@ func (w *Worker) executorLoop() {
 		}
 		res, err := w.execute(l)
 		if err != nil {
-			// Leave the lease to expire and requeue; a healthy worker
-			// (possibly this one, re-fetching input) will redo it.
+			// Nack the unit so the coordinator requeues it immediately. A
+			// live worker's heartbeats renew every lease it holds, so
+			// "leave the lease to expire" is not an option here — the
+			// expiry would be pushed out on every beat and the unit would
+			// stay pinned to this worker forever. If the nack itself fails
+			// to land, the unit is still reclaimed when this worker dies
+			// or goes silent (the lease-expiry backstop).
 			w.o.Logf("fleet worker %s: unit %s/%d failed: %v", w.ID(), l.Job, l.Unit, err)
 			w.Metrics.RecordFailure()
+			nack := UnitResult{Lease: l.Lease, Job: l.Job, Unit: l.Unit,
+				Failed: true, Error: err.Error(), Spans: res.Spans}
+			w.post(l.TraceParent, nack)
 			continue
 		}
 		if w.post(l.TraceParent, res) {
@@ -356,6 +375,14 @@ func (w *Worker) lease() (*Lease, error) {
 // inside the result, so the coordinator can complete the job's trace.
 func (w *Worker) execute(l *Lease) (res UnitResult, err error) {
 	res = UnitResult{Lease: l.Lease, Job: l.Job, Unit: l.Unit}
+	// Chaos hook: `MDTASK_FAULTS='fleet.unit.execute=…'` makes this
+	// worker fail units (error), stall on them (sleep), or die outright
+	// (crash) — the load harness's chaos scenarios arm it to prove that
+	// failed units requeue via the nack path and a killed worker's
+	// leases requeue via the failure detector.
+	if err := faultinject.Fire("fleet.unit.execute"); err != nil {
+		return res, err
+	}
 	parent, _ := obs.ParseTraceParent(l.TraceParent)
 	span := w.tracer.StartChild(parent, "worker.kernel")
 	span.SetAttr("job", l.Job)
@@ -367,9 +394,10 @@ func (w *Worker) execute(l *Lease) (res UnitResult, err error) {
 			span.SetAttr("error", err.Error())
 		}
 		span.End()
-		// Failed units never post, so their taken spans are simply
-		// dropped — which also keeps the worker tracer's buffers from
-		// accumulating traces nobody will collect.
+		// Taking the spans here (success or failure) keeps the worker
+		// tracer's buffers from accumulating; on failure the executor
+		// loop ships them inside the nack so the error is visible in the
+		// job's trace.
 		res.Spans = w.tracer.Take(span.Context().Trace)
 	}()
 	start := time.Now()
@@ -508,7 +536,23 @@ func (w *Worker) fetchInput(jobID string) ([]byte, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("fleet: input of job %s: coordinator returned %s", jobID, resp.Status)
 	}
-	return io.ReadAll(resp.Body)
+	return w.readTransfer(resp.Body)
+}
+
+// readTransfer drains one download under the transfer-size contract:
+// at most MaxTransferBytes land in memory, and a longer body is an
+// error, not a truncation — a silently clipped payload would fail
+// shape validation later with a far less useful message.
+func (w *Worker) readTransfer(r io.Reader) ([]byte, error) {
+	max := w.o.MaxTransferBytes
+	data, err := io.ReadAll(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > max {
+		return nil, fmt.Errorf("fleet: transfer exceeds the %d-byte limit", max)
+	}
+	return data, nil
 }
 
 // fetchWindow downloads one window of one trajectory of a streamed
@@ -531,7 +575,7 @@ func (w *Worker) fetchWindow(jobID string, trajIx, win int, traceparent string) 
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("fleet: window %d/%d of job %s: coordinator returned %s", trajIx, win, jobID, resp.Status)
 	}
-	return io.ReadAll(resp.Body)
+	return w.readTransfer(resp.Body)
 }
 
 // streamRefs rebuilds the trajectory handles of a streamed PSA lease:

@@ -9,7 +9,23 @@ import (
 	"mdtask/internal/obs"
 )
 
-// NewServer wraps a scheduler in the mdserver HTTP JSON API:
+// DefaultMaxSpecBytes is the default bound on a POST /v1/jobs request
+// body. Specs are small JSON documents — a well-formed one is hundreds
+// of bytes — so a megabyte leaves generous headroom while keeping one
+// hostile or buggy client from ballooning server memory with an
+// arbitrarily large body.
+const DefaultMaxSpecBytes = 1 << 20
+
+// ServerOptions tunes the HTTP API. The zero value gets defaults.
+type ServerOptions struct {
+	// MaxSpecBytes bounds the POST /v1/jobs request body; oversized
+	// submissions are rejected with 413 before the decoder buffers them
+	// (< 1: DefaultMaxSpecBytes).
+	MaxSpecBytes int64
+}
+
+// NewServer wraps a scheduler in the mdserver HTTP JSON API with
+// default options:
 //
 //	POST   /v1/jobs          submit a job (body: Spec JSON) → Status
 //	GET    /v1/jobs          list jobs → []Status
@@ -20,15 +36,35 @@ import (
 //	GET    /v1/metrics       service-wide metrics → ServiceMetrics
 //	GET    /healthz          liveness probe
 func NewServer(s *Scheduler) http.Handler {
+	return NewServerWith(s, ServerOptions{})
+}
+
+// NewServerWith is NewServer with explicit options (cmd/mdserver wires
+// the -max-spec-bytes flag through here).
+func NewServerWith(s *Scheduler, o ServerOptions) http.Handler {
+	if o.MaxSpecBytes < 1 {
+		o.MaxSpecBytes = DefaultMaxSpecBytes
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		// Bound the body before decoding: json.Decoder otherwise buffers
+		// whatever the client sends, so one oversized request could
+		// balloon server memory. MaxBytesReader also closes the
+		// connection once the limit trips, ending the upload.
+		r.Body = http.MaxBytesReader(w, r.Body, o.MaxSpecBytes)
 		var spec Spec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("job spec exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 			return
 		}

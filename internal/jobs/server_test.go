@@ -278,6 +278,37 @@ func TestAPIErrors(t *testing.T) {
 	}
 }
 
+// TestAPISpecBodyBound is the regression test for the unbounded
+// POST /v1/jobs decode: an oversized body must answer 413 with a JSON
+// error envelope (not buffer server-side), a body exactly at the limit
+// must still decode, and the rejection must not admit a job.
+func TestAPISpecBodyBound(t *testing.T) {
+	s := NewScheduler(DefaultRegistry(), Options{Workers: 1})
+	ts := httptest.NewServer(NewServerWith(s, ServerOptions{MaxSpecBytes: 512}))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	huge := `{"analysis":"psa","synth":{"count":2},"method":"` + strings.Repeat("x", 4096) + `"}`
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", huge)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized spec: got %d, want 413", code)
+	}
+	var env map[string]string
+	if err := json.Unmarshal(raw, &env); err != nil || env["error"] == "" {
+		t.Fatalf("413 body is not a JSON error envelope: %q (%v)", raw, err)
+	}
+	if n := len(s.Jobs()); n != 0 {
+		t.Fatalf("rejected oversized spec admitted %d job(s)", n)
+	}
+
+	ok := `{"analysis":"psa","synth":{"count":2,"atoms":4,"frames":3}}`
+	if code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", ok); code != http.StatusAccepted {
+		t.Fatalf("in-bound spec: got %d (%s), want 202", code, raw)
+	}
+}
+
 // TestAPIListAndHealth covers GET /v1/jobs and /healthz.
 func TestAPIListAndHealth(t *testing.T) {
 	ts, _ := newTestServer(t, DefaultRegistry(), Options{Workers: 1})

@@ -1,0 +1,169 @@
+package loadgen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// Recorder accumulates per-endpoint latency samples for one scenario.
+// Sample storage is exact — percentiles come from the sorted sample
+// set, not from bucketed approximation — which is affordable because
+// scenario request counts are thousands, not millions.
+type Recorder struct {
+	mu      sync.Mutex
+	start   time.Time
+	samples map[string][]time.Duration
+	errors  map[string]int
+}
+
+// NewRecorder starts a recorder; elapsed time (for throughput) counts
+// from this call.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		start:   time.Now(),
+		samples: make(map[string][]time.Duration),
+		errors:  make(map[string]int),
+	}
+}
+
+// Observe records one request's latency under an endpoint label.
+// Transport failures record as errors instead (Error below), so the
+// latency profile only describes completed requests.
+func (r *Recorder) Observe(endpoint string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples[endpoint] = append(r.samples[endpoint], d)
+}
+
+// Error records one failed (transport-level) request.
+func (r *Recorder) Error(endpoint string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.errors[endpoint]++
+}
+
+// EndpointStats is one endpoint's aggregate: request count, error
+// count, closed-loop throughput over the scenario window, and latency
+// percentiles. Latency NEVER gates — it is recorded for the report.
+type EndpointStats struct {
+	Endpoint   string  `json:"endpoint"`
+	Count      int     `json:"count"`
+	Errors     int     `json:"errors"`
+	Throughput float64 `json:"throughput_rps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of sorted
+// samples using nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	ix := int(float64(len(sorted))*p/100+0.5) - 1
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= len(sorted) {
+		ix = len(sorted) - 1
+	}
+	return sorted[ix]
+}
+
+// Stats snapshots every endpoint's aggregate, sorted by endpoint name.
+func (r *Recorder) Stats() []EndpointStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	elapsed := time.Since(r.start).Seconds()
+	names := make([]string, 0, len(r.samples)+len(r.errors))
+	for n := range r.samples {
+		names = append(names, n)
+	}
+	for n := range r.errors {
+		if _, ok := r.samples[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	out := make([]EndpointStats, 0, len(names))
+	for _, n := range names {
+		s := append([]time.Duration(nil), r.samples[n]...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		st := EndpointStats{Endpoint: n, Count: len(s), Errors: r.errors[n]}
+		if elapsed > 0 {
+			st.Throughput = float64(len(s)) / elapsed
+		}
+		if len(s) > 0 {
+			ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+			st.P50Ms = ms(percentile(s, 50))
+			st.P95Ms = ms(percentile(s, 95))
+			st.P99Ms = ms(percentile(s, 99))
+			st.MaxMs = ms(s[len(s)-1])
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// WriteTable renders the report's latency profile as an aligned text
+// table, one section per scenario.
+func WriteTable(w io.Writer, rep *Report) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tendpoint\tcount\terrs\trps\tp50 ms\tp95 ms\tp99 ms\tmax ms")
+	for _, sc := range rep.Scenarios {
+		if sc.Skipped {
+			fmt.Fprintf(tw, "%s\t(skipped: %s)\t\t\t\t\t\t\t\n", sc.Scenario, sc.SkipReason)
+			continue
+		}
+		for _, e := range sc.Endpoints {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				sc.Scenario, e.Endpoint, e.Count, e.Errors, e.Throughput,
+				e.P50Ms, e.P95Ms, e.P99Ms, e.MaxMs)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "invariants:")
+	for _, sc := range rep.Scenarios {
+		for _, inv := range sc.Invariants {
+			mark := "ok  "
+			if !inv.OK {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(w, "  [%s] %s/%s", mark, sc.Scenario, inv.Name)
+			if inv.Detail != "" {
+				fmt.Fprintf(w, " — %s", inv.Detail)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// WriteCSV renders one row per scenario × endpoint.
+func WriteCSV(w io.Writer, rep *Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "endpoint", "count", "errors",
+		"throughput_rps", "p50_ms", "p95_ms", "p99_ms", "max_ms"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	for _, sc := range rep.Scenarios {
+		for _, e := range sc.Endpoints {
+			if err := cw.Write([]string{sc.Scenario, e.Endpoint,
+				strconv.Itoa(e.Count), strconv.Itoa(e.Errors),
+				f(e.Throughput), f(e.P50Ms), f(e.P95Ms), f(e.P99Ms), f(e.MaxMs)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

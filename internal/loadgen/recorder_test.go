@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	var s []time.Duration
+	for i := 1; i <= 100; i++ {
+		s = append(s, time.Duration(i)*time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(s, c.p); got != c.want {
+			t.Errorf("p%g = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	if got := percentile([]time.Duration{7 * time.Millisecond}, 99); got != 7*time.Millisecond {
+		t.Errorf("single-sample p99 = %v, want 7ms", got)
+	}
+}
+
+func TestRecorderStats(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 10; i++ {
+		r.Observe("POST /v1/jobs", time.Duration(i)*time.Millisecond)
+	}
+	r.Error("POST /v1/jobs")
+	r.Error("GET /v1/jobs/{id}")
+	st := r.Stats()
+	if len(st) != 2 {
+		t.Fatalf("got %d endpoints, want 2", len(st))
+	}
+	// Sorted by endpoint name: GET first.
+	if st[0].Endpoint != "GET /v1/jobs/{id}" || st[0].Count != 0 || st[0].Errors != 1 {
+		t.Fatalf("error-only endpoint = %+v", st[0])
+	}
+	post := st[1]
+	if post.Count != 10 || post.Errors != 1 {
+		t.Fatalf("post stats = %+v", post)
+	}
+	if post.P50Ms != 5 || post.MaxMs != 10 {
+		t.Fatalf("p50=%v max=%v, want 5 and 10", post.P50Ms, post.MaxMs)
+	}
+	if post.Throughput <= 0 {
+		t.Fatalf("throughput = %v, want > 0", post.Throughput)
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	rep := &Report{
+		Benchmark: "mdserver-load",
+		Scenarios: []ScenarioReport{
+			{
+				Scenario: "resubmit-storm",
+				Endpoints: []EndpointStats{
+					{Endpoint: "POST /v1/jobs", Count: 24, Throughput: 120.5, P50Ms: 1.2, P95Ms: 3.4, P99Ms: 5.6, MaxMs: 9.9},
+				},
+				Invariants: []Invariant{
+					{Name: "zero-lost-jobs", OK: true, Detail: "0 accepted jobs lost"},
+					{Name: "submitted-counter-exact", OK: false, Detail: "server counted 23, harness had 24"},
+				},
+			},
+			{Scenario: "fleet-fanout", Skipped: true, SkipReason: "no fleet workers registered"},
+		},
+	}
+	var table bytes.Buffer
+	WriteTable(&table, rep)
+	out := table.String()
+	for _, want := range []string{"resubmit-storm", "POST /v1/jobs", "skipped: no fleet workers",
+		"[ok  ] resubmit-storm/zero-lost-jobs", "[FAIL] resubmit-storm/submitted-counter-exact"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	var csvOut bytes.Buffer
+	if err := WriteCSV(&csvOut, rep); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvOut.String()), "\n")
+	if len(lines) != 2 { // header + one data row; skipped scenario has no endpoints
+		t.Fatalf("csv has %d lines, want 2:\n%s", len(lines), csvOut.String())
+	}
+	if !strings.HasPrefix(lines[1], "resubmit-storm,POST /v1/jobs,24,0,120.500") {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+}
